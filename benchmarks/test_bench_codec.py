@@ -1,0 +1,54 @@
+"""Microbenchmarks of the JPEG codec substrate and the table-design path.
+
+Not tied to a specific figure; these quantify the cost of the building
+blocks every experiment relies on (per-image compression, Algorithm-1
+statistics, quantization-table design).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis.frequency import analyze_images
+from repro.core import DeepNJpegTableDesigner
+from repro.data import FreqNetConfig, generate_freqnet
+from repro.jpeg import GrayscaleJpegCodec, QuantizationTable
+
+
+@pytest.fixture(scope="module")
+def sample_images():
+    dataset = generate_freqnet(FreqNetConfig(images_per_class=4, seed=2))
+    return dataset.images
+
+
+def test_grayscale_compress_single_image(benchmark, sample_images):
+    codec = GrayscaleJpegCodec(QuantizationTable.standard_luminance(50))
+    image = sample_images[0]
+    result = benchmark(codec.compress, image)
+    assert result.total_bytes > 0
+
+
+def test_grayscale_encode_only(benchmark, sample_images):
+    codec = GrayscaleJpegCodec(QuantizationTable.standard_luminance(50))
+    image = sample_images[0]
+    encoded = benchmark(codec.encode, image)
+    assert len(encoded.data) > 0
+
+
+def test_frequency_analysis(benchmark, sample_images):
+    statistics = benchmark(analyze_images, sample_images)
+    assert statistics.std.shape == (8, 8)
+
+
+def test_table_design(benchmark, sample_images):
+    statistics = analyze_images(sample_images)
+    designer = DeepNJpegTableDesigner()
+    result = benchmark(designer.design, statistics)
+    assert result.table.values.shape == (8, 8)
+
+
+def test_block_dct_throughput(benchmark, rng=np.random.default_rng(0)):
+    from repro.jpeg.dct import block_dct2d
+
+    blocks = rng.normal(size=(1024, 8, 8))
+    coefficients = benchmark(block_dct2d, blocks)
+    assert coefficients.shape == blocks.shape

@@ -1,0 +1,76 @@
+"""Frequency component analysis (Algorithm 1) walkthrough.
+
+The script runs the paper's Algorithm 1 on the FreqNet dataset: sample
+each class, block-DCT the samples, and characterise each of the 64
+frequency bands by the standard deviation of its coefficients.  It then
+shows how the magnitude-based band segmentation differs from the
+position-based one, verifies the Laplace-vs-Gaussian coefficient model of
+Reininger & Gibson, and prints the resulting piece-wise linear mapping
+and quantization table.
+
+Run with::
+
+    python examples/frequency_analysis_demo.py
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    analyze_dataset,
+    fit_band_distribution,
+    magnitude_based_segmentation,
+    position_based_segmentation,
+)
+from repro.analysis.bands import segmentation_agreement
+from repro.analysis.frequency import coefficients_by_band
+from repro.core import DeepNJpegTableDesigner
+from repro.data import FreqNetConfig, generate_freqnet
+
+
+def main() -> None:
+    dataset = generate_freqnet(FreqNetConfig(images_per_class=24, seed=11))
+
+    # --- Algorithm 1: per-band standard deviations -----------------------
+    statistics = analyze_dataset(dataset, interval=2)
+    print("Per-band DCT coefficient standard deviation (Algorithm 1):")
+    print(np.round(statistics.std, 1))
+    print(
+        f"\nAnalysed {statistics.image_count} sampled images "
+        f"({statistics.block_count} blocks)."
+    )
+
+    # --- Magnitude-based vs position-based segmentation ------------------
+    magnitude = magnitude_based_segmentation(statistics)
+    position = position_based_segmentation()
+    agreement = segmentation_agreement(magnitude, position)
+    print("\nMagnitude-based LF/MF/HF groups:")
+    print(magnitude.groups)
+    print(
+        f"\nAgreement with the position-based grouping: {agreement:.0%} of "
+        "bands — the disagreement is exactly where DeepN-JPEG's data-driven "
+        "table differs from the HVS table."
+    )
+
+    # --- Coefficient distribution check (Reininger & Gibson) -------------
+    coefficients = coefficients_by_band(dataset.images[:32])
+    band = (1, 1)
+    fit = fit_band_distribution(coefficients[:, band[0], band[1]])
+    print(
+        f"\nBand {band}: std={fit.std:.1f}, Laplace scale={fit.laplace_scale:.1f}, "
+        f"preferred model: {fit.preferred_model}"
+    )
+
+    # --- Resulting PLM and quantization table -----------------------------
+    design = DeepNJpegTableDesigner().design(statistics)
+    mapping = design.mapping
+    print(
+        f"\nPiece-wise linear mapping: T1={mapping.t1:.1f} T2={mapping.t2:.1f} "
+        f"k1={mapping.k1:.2f} k2={mapping.k2:.2f} k3={mapping.k3:.2f} "
+        f"Qmin={mapping.q_min:g}"
+    )
+    print("\nDesigned quantization table:")
+    print(design.table.values.astype(int))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,127 @@
+"""Reproduce every table and figure of the paper's evaluation.
+
+Runs the Fig. 2 / 3 / 5 / 6 / 7 / 8 / 9 experiments in sequence and prints
+the regenerated tables.  The ``--scale`` option controls the dataset size
+and training length:
+
+* ``tiny``  — minutes; smoke-test scale used by the benchmarks.
+* ``small`` — the default; the scale used for EXPERIMENTS.md.
+* ``full``  — largest datasets / longest training.
+
+Run with::
+
+    python examples/reproduce_paper.py --scale small
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.experiments import ExperimentConfig
+from repro.experiments import (
+    fig2_motivation,
+    fig3_feature_removal,
+    fig5_band_sensitivity,
+    fig6_k3_sweep,
+    fig7_methods,
+    fig8_generality,
+    fig9_power,
+)
+from repro.experiments.design_flow import derive_design_config
+
+SCALES = {
+    "tiny": ExperimentConfig.tiny,
+    "small": ExperimentConfig.small,
+    "full": ExperimentConfig.full,
+}
+
+
+def _banner(title: str) -> None:
+    print("\n" + "=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--scale", choices=sorted(SCALES), default="small",
+        help="experiment scale (dataset size and training epochs)",
+    )
+    parser.add_argument(
+        "--fig8-epochs", type=int, default=None,
+        help="override training epochs for the Fig. 8 generality sweep",
+    )
+    parser.add_argument(
+        "--skip", nargs="*", default=[],
+        help="figure ids to skip, e.g. --skip fig8",
+    )
+    arguments = parser.parse_args()
+    config = SCALES[arguments.scale]()
+    started = time.time()
+
+    _banner("Fig. 2 — accuracy vs JPEG compression (CASE 1 / CASE 2)")
+    if "fig2" not in arguments.skip:
+        fig2 = fig2_motivation.run(config)
+        print(fig2.format_table())
+        print("\nCASE 2 accuracy per epoch (Fig. 2b):")
+        for quality, curve in fig2.epoch_curves().items():
+            print(f"  QF={quality}: " + ", ".join(f"{a:.2f}" for a in curve))
+
+    _banner("Fig. 3 — removing high-frequency components flips predictions")
+    if "fig3" not in arguments.skip:
+        fig3 = fig3_feature_removal.run(config)
+        print(fig3.format_table())
+
+    _banner("Fig. 5 — per-band-group sensitivity (magnitude vs position)")
+    anchors = None
+    if "fig5" not in arguments.skip:
+        fig5 = fig5_band_sensitivity.run(config)
+        print(fig5.format_table())
+        anchors = fig5.derived_anchors()
+        print(f"\nDerived design anchors: {anchors}")
+
+    _banner("Fig. 6 — LF slope k3 sweep")
+    chosen_k3 = 3.0
+    if "fig6" not in arguments.skip:
+        fig6 = fig6_k3_sweep.run(config, anchors=anchors)
+        print(fig6.format_table())
+        chosen_k3 = fig6.best_k3()
+        print(f"\nSelected k3 = {chosen_k3:g}")
+
+    deepn_config = derive_design_config(config, anchors=anchors, k3=chosen_k3)
+
+    _banner("Fig. 7 — compression rate and accuracy of all candidates")
+    fig7 = None
+    if "fig7" not in arguments.skip:
+        fig7 = fig7_methods.run(config, deepn_config=deepn_config)
+        print(fig7.format_table())
+
+    _banner("Fig. 8 — generality across DNN architectures")
+    if "fig8" not in arguments.skip:
+        fig8 = fig8_generality.run(
+            config, deepn_config=deepn_config, epochs=arguments.fig8_epochs
+        )
+        print(fig8.format_table())
+
+    _banner("Fig. 9 — normalized data-offloading power")
+    if "fig9" not in arguments.skip:
+        bytes_per_method = None
+        if fig7 is not None:
+            sizes = fig7.bytes_per_image_by_method()
+            bytes_per_method = {
+                method: sizes[method]
+                for method in ("Original", "RM-HF3", "SAME-Q4", "DeepN-JPEG")
+                if method in sizes
+            }
+        fig9 = fig9_power.run(
+            config, deepn_config=deepn_config, bytes_per_method=bytes_per_method
+        )
+        print(fig9.format_table())
+
+    print(f"\nTotal wall-clock time: {time.time() - started:.0f} s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The offline build environment ships setuptools without the ``wheel``
+package, so PEP 660 editable installs are unavailable; this ``setup.py``
+lets ``pip install -e .`` fall back to the legacy ``setup.py develop``
+path.  All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

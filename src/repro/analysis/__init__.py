@@ -1,0 +1,36 @@
+"""Frequency-domain analysis of image datasets.
+
+Implements the statistical machinery behind DeepN-JPEG's quantization
+table design:
+
+* :mod:`repro.analysis.frequency` — Algorithm 1: block-wise DCT of the
+  sampled images and the per-band standard deviation of the un-quantized
+  coefficients.
+* :mod:`repro.analysis.bands` — magnitude-based (DeepN-JPEG) and
+  position-based (default JPEG) segmentation of the 64 bands into
+  low/mid/high frequency groups.
+* :mod:`repro.analysis.statistics` — Laplace/Gaussian fits of the
+  coefficient distributions (Reininger & Gibson, 1983) used to justify
+  the standard-deviation-as-energy argument.
+* :mod:`repro.analysis.sensitivity` — the Eq. 2 gradient-based view of how
+  much each frequency band contributes to a trained DNN's decision.
+"""
+
+from repro.analysis.bands import (
+    BandSegmentation,
+    magnitude_based_segmentation,
+    position_based_segmentation,
+)
+from repro.analysis.frequency import FrequencyStatistics, analyze_dataset
+from repro.analysis.sensitivity import frequency_band_saliency
+from repro.analysis.statistics import fit_band_distribution
+
+__all__ = [
+    "BandSegmentation",
+    "FrequencyStatistics",
+    "analyze_dataset",
+    "fit_band_distribution",
+    "frequency_band_saliency",
+    "magnitude_based_segmentation",
+    "position_based_segmentation",
+]

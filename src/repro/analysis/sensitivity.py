@@ -1,0 +1,97 @@
+"""Gradient-based frequency-band saliency (Eq. 2 of the paper).
+
+Section 3.1 argues that the contribution of the frequency basis function
+``b(i, j)`` of pixel block ``k`` to the DNN decision is
+
+    dF / db(i, j) = dF / dx_k * c(k, i, j)
+
+i.e. the product of the pixel-space gradient and the block's DCT
+coefficient at that band.  :func:`frequency_band_saliency` computes this
+for a trained model, producing an 8x8 importance map that can be compared
+with the data-driven standard-deviation statistic used for table design.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.jpeg.blocks import level_shift, partition_blocks
+from repro.jpeg.dct import BLOCK_SIZE, block_dct2d
+from repro.nn.base import Sequential
+from repro.nn.losses import softmax
+
+
+def input_gradient(
+    model: Sequential, inputs: np.ndarray, target_classes: np.ndarray
+) -> np.ndarray:
+    """Gradient of the target-class probability w.r.t. the network input.
+
+    ``inputs`` is an NCHW tensor (already normalised for the network),
+    ``target_classes`` the class whose score is differentiated for each
+    sample.  The model runs in inference mode.
+    """
+    inputs = np.asarray(inputs, dtype=np.float64)
+    target_classes = np.asarray(target_classes, dtype=np.intp)
+    if inputs.ndim != 4:
+        raise ValueError(f"expected NCHW inputs, got shape {inputs.shape}")
+    if target_classes.shape != (inputs.shape[0],):
+        raise ValueError("target_classes must have one entry per sample")
+    logits = model.forward(inputs, training=False)
+    probabilities = softmax(logits)
+    # d p_t / d logits for each sample: p_t * (one_hot(t) - p).
+    one_hot = np.zeros_like(probabilities)
+    one_hot[np.arange(target_classes.shape[0]), target_classes] = 1.0
+    target_probability = probabilities[
+        np.arange(target_classes.shape[0]), target_classes
+    ][:, None]
+    grad_logits = target_probability * (one_hot - probabilities)
+    for parameter in model.parameters():
+        parameter.zero_grad()
+    return model.backward(grad_logits)
+
+
+def frequency_band_saliency(
+    model: Sequential,
+    images: np.ndarray,
+    network_inputs: np.ndarray,
+    target_classes: np.ndarray,
+) -> np.ndarray:
+    """Average |dF/db(i, j)| over all blocks of all images (Eq. 2).
+
+    Parameters
+    ----------
+    model:
+        A trained classifier.
+    images:
+        The raw grayscale images ``(N, H, W)`` in [0, 255], used for the
+        DCT coefficients ``c(k, i, j)``.
+    network_inputs:
+        The same images preprocessed into the NCHW tensor the model was
+        trained on (see :func:`repro.data.transforms.prepare_for_network`).
+    target_classes:
+        The class whose score is differentiated for each image (typically
+        the true label).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``(8, 8)`` array of mean absolute band contributions.
+    """
+    images = np.asarray(images, dtype=np.float64)
+    if images.ndim != 3:
+        raise ValueError(f"expected (N, H, W) images, got shape {images.shape}")
+    gradients = input_gradient(model, network_inputs, target_classes)
+    if gradients.shape[1] != 1:
+        # Colour inputs: reduce the gradient over channels (luma-style mean),
+        # because the DCT analysis below runs on the grayscale image.
+        gradients = gradients.mean(axis=1, keepdims=True)
+    saliency = np.zeros((BLOCK_SIZE, BLOCK_SIZE))
+    total_blocks = 0
+    for image, gradient in zip(images, gradients[:, 0]):
+        image_blocks, _ = partition_blocks(level_shift(image))
+        gradient_blocks, _ = partition_blocks(gradient)
+        image_coefficients = block_dct2d(image_blocks)
+        gradient_coefficients = block_dct2d(gradient_blocks)
+        saliency += np.abs(image_coefficients * gradient_coefficients).sum(axis=0)
+        total_blocks += image_blocks.shape[0]
+    return saliency / max(total_blocks, 1)

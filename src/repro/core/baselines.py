@@ -1,0 +1,223 @@
+"""Dataset-level compression: the baselines the paper compares against.
+
+Four compressors share one interface (:class:`DatasetCompressor`):
+
+* :class:`JpegCompressor` — ordinary JPEG with the Annex-K table scaled by
+  a quality factor (the "Original" dataset is JPEG at QF=100).
+* :class:`RemoveHighFrequencyCompressor` — the paper's "RM-HF" baseline:
+  JPEG extended by discarding the top-N highest-frequency components.
+* :class:`SameQCompressor` — the paper's "SAME-Q" baseline: a flat table
+  with one step for all 64 bands.
+* :class:`~repro.core.pipeline.DeepNJpegCompressor` — the proposed method
+  (defined in :mod:`repro.core.pipeline`).
+
+Compressing a dataset returns a :class:`CompressedDataset` holding the
+reconstructed images (to feed a classifier) and the measured byte counts
+(to compute compression ratios and, later, offloading power).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.jpeg.codec import ColorJpegCodec, GrayscaleJpegCodec
+from repro.jpeg.metrics import psnr
+from repro.jpeg.quantization import (
+    MAX_QUANT_STEP,
+    QuantizationTable,
+    STANDARD_CHROMINANCE_TABLE,
+    STANDARD_LUMINANCE_TABLE,
+    scale_table_for_quality,
+)
+from repro.jpeg.zigzag import ZIGZAG_ORDER
+
+
+@dataclass(frozen=True)
+class CompressedDataset:
+    """Result of compressing every image of a dataset.
+
+    Attributes
+    ----------
+    dataset:
+        A dataset with the same labels but decompressed (lossy) images.
+    method:
+        Name of the compressor that produced it.
+    payload_bytes / header_bytes:
+        Total entropy-coded payload and marker overhead across all images.
+    original_bytes:
+        Total uncompressed size (one byte per sample value).
+    mean_psnr:
+        Mean PSNR of the reconstructions against the originals.
+    """
+
+    dataset: Dataset
+    method: str
+    payload_bytes: int
+    header_bytes: int
+    original_bytes: int
+    mean_psnr: float
+
+    @property
+    def total_bytes(self) -> int:
+        """Compressed size including per-image headers."""
+        return self.payload_bytes + self.header_bytes
+
+    @property
+    def compression_ratio(self) -> float:
+        """Dataset-level compression ratio (original / compressed)."""
+        return self.original_bytes / self.total_bytes
+
+    @property
+    def payload_compression_ratio(self) -> float:
+        """Compression ratio counting only entropy-coded payload."""
+        return self.original_bytes / self.payload_bytes
+
+    @property
+    def bytes_per_image(self) -> float:
+        """Average compressed size per image."""
+        return self.total_bytes / len(self.dataset)
+
+
+def compress_dataset_with_table(
+    dataset: Dataset,
+    luma_table: QuantizationTable,
+    chroma_table: QuantizationTable = None,
+    method: str = "custom",
+    optimize_huffman: bool = False,
+) -> CompressedDataset:
+    """Compress every image of ``dataset`` with the given table(s).
+
+    Grayscale datasets use :class:`GrayscaleJpegCodec`; colour datasets go
+    through the YCbCr path of :class:`ColorJpegCodec`.
+    """
+    images = dataset.images
+    is_color = images.ndim == 4
+    if is_color:
+        codec = ColorJpegCodec(
+            luma_table,
+            chroma_table if chroma_table is not None else luma_table,
+            optimize_huffman=optimize_huffman,
+        )
+    else:
+        codec = GrayscaleJpegCodec(luma_table, optimize_huffman=optimize_huffman)
+    reconstructed = np.empty_like(images)
+    payload = 0
+    header = 0
+    psnr_values = []
+    for index in range(images.shape[0]):
+        result = codec.compress(images[index])
+        reconstructed[index] = result.reconstructed
+        payload += result.payload_bytes
+        header += result.header_bytes
+        psnr_values.append(psnr(images[index], result.reconstructed))
+    finite = [value for value in psnr_values if np.isfinite(value)]
+    mean_psnr = float(np.mean(finite)) if finite else float("inf")
+    return CompressedDataset(
+        dataset=dataset.with_images(reconstructed),
+        method=method,
+        payload_bytes=int(payload),
+        header_bytes=int(header),
+        original_bytes=dataset.uncompressed_bytes(),
+        mean_psnr=mean_psnr,
+    )
+
+
+class DatasetCompressor:
+    """Interface of every dataset-level compressor."""
+
+    #: Human-readable name used in experiment tables.
+    name = "abstract"
+
+    def luma_table(self) -> QuantizationTable:
+        """The luminance quantization table this compressor uses."""
+        raise NotImplementedError
+
+    def chroma_table(self) -> QuantizationTable:
+        """The chrominance quantization table (defaults to the luma table)."""
+        return self.luma_table()
+
+    def compress_dataset(
+        self, dataset: Dataset, optimize_huffman: bool = False
+    ) -> CompressedDataset:
+        """Compress every image of ``dataset`` and collect statistics."""
+        return compress_dataset_with_table(
+            dataset,
+            self.luma_table(),
+            self.chroma_table(),
+            method=self.name,
+            optimize_huffman=optimize_huffman,
+        )
+
+
+class JpegCompressor(DatasetCompressor):
+    """Ordinary JPEG with the standard tables scaled by a quality factor."""
+
+    def __init__(self, quality: int = 100) -> None:
+        if not 1 <= quality <= 100:
+            raise ValueError("quality must be in [1, 100]")
+        self.quality = int(quality)
+        self.name = f"JPEG (QF={self.quality})"
+
+    def luma_table(self) -> QuantizationTable:
+        return QuantizationTable.standard_luminance(self.quality)
+
+    def chroma_table(self) -> QuantizationTable:
+        return QuantizationTable.standard_chrominance(self.quality)
+
+
+class RemoveHighFrequencyCompressor(DatasetCompressor):
+    """The paper's RM-HF baseline.
+
+    Standard JPEG at the given quality, extended by *removing* the top-N
+    highest-frequency components: their quantization steps are raised to
+    the maximum representable value so the corresponding coefficients
+    quantize to zero for natural image content.
+    """
+
+    def __init__(self, removed_components: int = 3, quality: int = 100) -> None:
+        if not 0 <= removed_components < 64:
+            raise ValueError("removed_components must be in [0, 63]")
+        if not 1 <= quality <= 100:
+            raise ValueError("quality must be in [1, 100]")
+        self.removed_components = int(removed_components)
+        self.quality = int(quality)
+        self.name = f"RM-HF{self.removed_components}"
+
+    def _remove_top_bands(self, base_table: np.ndarray) -> QuantizationTable:
+        values = np.array(base_table, dtype=np.float64)
+        flat = values.reshape(-1)
+        if self.removed_components:
+            top_bands = ZIGZAG_ORDER[64 - self.removed_components:]
+            flat[top_bands] = MAX_QUANT_STEP
+        return QuantizationTable(
+            flat.reshape(8, 8), name=f"rm-hf{self.removed_components}"
+        )
+
+    def luma_table(self) -> QuantizationTable:
+        return self._remove_top_bands(
+            scale_table_for_quality(STANDARD_LUMINANCE_TABLE, self.quality)
+        )
+
+    def chroma_table(self) -> QuantizationTable:
+        return self._remove_top_bands(
+            scale_table_for_quality(STANDARD_CHROMINANCE_TABLE, self.quality)
+        )
+
+
+class SameQCompressor(DatasetCompressor):
+    """The paper's SAME-Q baseline: one quantization step for all 64 bands."""
+
+    def __init__(self, step: float = 4.0) -> None:
+        if step < 1:
+            raise ValueError("step must be at least 1")
+        self.step = float(step)
+        self.name = f"SAME-Q{self.step:g}"
+
+    def luma_table(self) -> QuantizationTable:
+        return QuantizationTable.flat(self.step, name=f"same-q{self.step:g}")
+
+    def chroma_table(self) -> QuantizationTable:
+        return self.luma_table()

@@ -1,0 +1,73 @@
+"""Configuration of the DeepN-JPEG pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.bands import LF_BAND_COUNT, MF_BAND_COUNT
+
+
+@dataclass(frozen=True)
+class DeepNJpegConfig:
+    """All knobs of the DeepN-JPEG table design and compression pipeline.
+
+    Attributes
+    ----------
+    lf_band_count / mf_band_count:
+        Sizes of the low- and mid-frequency groups used to place the PLM
+        thresholds (the paper uses 6 and 22; the remaining 36 bands form
+        the HF group).
+    q_max_step:
+        Step assigned to a zero-energy band (intercept ``a`` of Eq. 3).
+    q1:
+        Largest accuracy-neutral step for the HF group (Fig. 5(c)).
+    q2:
+        Largest accuracy-neutral step for the MF group (Fig. 5(b)).
+    q_min:
+        Floor on every step, protecting the highest-energy bands
+        (Fig. 5(a)).
+    k3:
+        Slope of the LF segment, the compression-rate-vs-accuracy knob of
+        Fig. 6.
+    lf_intercept:
+        Intercept ``c`` of the LF segment; ``None`` keeps the mapping
+        continuous at ``t2``.
+    sampling_interval / max_samples_per_class:
+        Algorithm-1 sampling parameters.
+    chroma_scale:
+        Multiplier applied to the designed luma table to obtain the chroma
+        table when compressing colour images (chroma carries less
+        classification signal, mirroring the Annex-K luma/chroma ratio).
+    optimize_huffman:
+        Build per-image optimized Huffman tables instead of the Annex K
+        defaults.
+    """
+
+    lf_band_count: int = LF_BAND_COUNT
+    mf_band_count: int = MF_BAND_COUNT
+    q_max_step: float = 255.0
+    q1: float = 60.0
+    q2: float = 20.0
+    q_min: float = 5.0
+    k3: float = 3.0
+    lf_intercept: float = None
+    sampling_interval: int = 4
+    max_samples_per_class: int = None
+    chroma_scale: float = 1.5
+    optimize_huffman: bool = False
+
+    def __post_init__(self) -> None:
+        if self.lf_band_count < 1 or self.mf_band_count < 1:
+            raise ValueError("band group sizes must be positive")
+        if self.lf_band_count + self.mf_band_count >= 64:
+            raise ValueError("LF + MF bands must leave room for the HF group")
+        if not self.q_min <= self.q2 <= self.q1 <= self.q_max_step:
+            raise ValueError(
+                "step anchors must satisfy q_min <= q2 <= q1 <= q_max_step"
+            )
+        if self.k3 < 0:
+            raise ValueError("k3 must be non-negative")
+        if self.sampling_interval < 1:
+            raise ValueError("sampling_interval must be at least 1")
+        if self.chroma_scale <= 0:
+            raise ValueError("chroma_scale must be positive")

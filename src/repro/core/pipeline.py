@@ -1,0 +1,136 @@
+"""The end-to-end DeepN-JPEG pipeline.
+
+:class:`DeepNJpeg` ties the whole framework together:
+
+1. ``fit(dataset)`` runs Algorithm 1 (class-balanced sampling + block-DCT
+   statistics) and designs the quantization table through the piece-wise
+   linear mapping.
+2. ``compress(image)`` / ``compress_dataset(dataset)`` apply the designed
+   table through the ordinary JPEG pipeline, so the decoder and hardware
+   cost are exactly those of JPEG.
+
+:class:`DeepNJpegCompressor` adapts a fitted pipeline to the
+:class:`~repro.core.baselines.DatasetCompressor` interface used by the
+experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.frequency import FrequencyStatistics, analyze_dataset
+from repro.core.baselines import (
+    CompressedDataset,
+    DatasetCompressor,
+    compress_dataset_with_table,
+)
+from repro.core.config import DeepNJpegConfig
+from repro.core.table_design import DeepNJpegTableDesigner, TableDesignResult
+from repro.data.dataset import Dataset
+from repro.jpeg.codec import ColorJpegCodec, CompressionResult, GrayscaleJpegCodec
+from repro.jpeg.quantization import QuantizationTable
+
+
+class DeepNJpeg:
+    """DNN-favourable JPEG compression, fitted to a labelled dataset."""
+
+    def __init__(self, config: DeepNJpegConfig = None) -> None:
+        self.config = config if config is not None else DeepNJpegConfig()
+        self._designer = DeepNJpegTableDesigner(self.config)
+        self._design: TableDesignResult = None
+
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit` (or :meth:`fit_statistics`) has run."""
+        return self._design is not None
+
+    @property
+    def design(self) -> TableDesignResult:
+        """The table design result (raises if not fitted)."""
+        self._require_fitted()
+        return self._design
+
+    @property
+    def table(self) -> QuantizationTable:
+        """The designed luminance quantization table."""
+        return self.design.table
+
+    @property
+    def statistics(self) -> FrequencyStatistics:
+        """The frequency statistics the table was designed from."""
+        return self.design.statistics
+
+    def fit(self, dataset: Dataset) -> "DeepNJpeg":
+        """Run Algorithm 1 on ``dataset`` and design the quantization table."""
+        statistics = analyze_dataset(
+            dataset,
+            interval=self.config.sampling_interval,
+            max_per_class=self.config.max_samples_per_class,
+        )
+        return self.fit_statistics(statistics)
+
+    def fit_statistics(self, statistics: FrequencyStatistics) -> "DeepNJpeg":
+        """Design the table from pre-computed frequency statistics."""
+        self._design = self._designer.design(statistics)
+        return self
+
+    def compress(self, image: np.ndarray) -> CompressionResult:
+        """Compress (and reconstruct) one grayscale or RGB image."""
+        self._require_fitted()
+        image = np.asarray(image, dtype=np.float64)
+        if image.ndim == 2:
+            codec = GrayscaleJpegCodec(
+                self._design.table, optimize_huffman=self.config.optimize_huffman
+            )
+        elif image.ndim == 3 and image.shape[-1] == 3:
+            codec = ColorJpegCodec(
+                self._design.table,
+                self._design.chroma_table,
+                optimize_huffman=self.config.optimize_huffman,
+            )
+        else:
+            raise ValueError(
+                f"expected (H, W) or (H, W, 3) image, got shape {image.shape}"
+            )
+        return codec.compress(image)
+
+    def compress_dataset(self, dataset: Dataset) -> CompressedDataset:
+        """Compress every image of ``dataset`` with the designed table."""
+        self._require_fitted()
+        return compress_dataset_with_table(
+            dataset,
+            self._design.table,
+            self._design.chroma_table,
+            method="DeepN-JPEG",
+            optimize_huffman=self.config.optimize_huffman,
+        )
+
+    def _require_fitted(self) -> None:
+        if self._design is None:
+            raise RuntimeError(
+                "DeepNJpeg must be fitted (call fit or fit_statistics) before use"
+            )
+
+
+class DeepNJpegCompressor(DatasetCompressor):
+    """Adapter exposing a fitted :class:`DeepNJpeg` as a DatasetCompressor."""
+
+    name = "DeepN-JPEG"
+
+    def __init__(self, pipeline: DeepNJpeg) -> None:
+        if not pipeline.is_fitted:
+            raise ValueError("pipeline must be fitted before wrapping it")
+        self.pipeline = pipeline
+
+    @classmethod
+    def fit(
+        cls, dataset: Dataset, config: DeepNJpegConfig = None
+    ) -> "DeepNJpegCompressor":
+        """Fit a new pipeline on ``dataset`` and wrap it."""
+        return cls(DeepNJpeg(config).fit(dataset))
+
+    def luma_table(self) -> QuantizationTable:
+        return self.pipeline.design.table
+
+    def chroma_table(self) -> QuantizationTable:
+        return self.pipeline.design.chroma_table

@@ -1,0 +1,38 @@
+"""Dataset substrate: synthetic frequency-structured image classification.
+
+The paper trains on ImageNet, which is neither redistributable nor
+CPU-trainable here.  This package provides *FreqNet*, a synthetic
+labelled image dataset whose classes are defined by their spatial
+frequency content — some classes are distinguishable only through mid- or
+high-frequency detail, which is exactly the property that makes
+HVS-oriented JPEG quantization hurt DNN accuracy (Section 2.3 / Fig. 3 of
+the paper).  The generator is deterministic given a seed, so every
+experiment is reproducible.
+"""
+
+from repro.data.dataset import Dataset, train_test_split
+from repro.data.sampling import sample_class_representatives
+from repro.data.synthetic import (
+    CLASS_GENERATORS,
+    DEFAULT_CLASS_NAMES,
+    FreqNetConfig,
+    generate_freqnet,
+)
+from repro.data.transforms import (
+    images_to_nchw,
+    normalize_images,
+    prepare_for_network,
+)
+
+__all__ = [
+    "CLASS_GENERATORS",
+    "DEFAULT_CLASS_NAMES",
+    "Dataset",
+    "FreqNetConfig",
+    "generate_freqnet",
+    "images_to_nchw",
+    "normalize_images",
+    "prepare_for_network",
+    "sample_class_representatives",
+    "train_test_split",
+]

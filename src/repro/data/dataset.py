@@ -1,0 +1,129 @@
+"""Dataset container and splitting utilities."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class Dataset:
+    """A labelled image dataset.
+
+    Attributes
+    ----------
+    images:
+        Array of shape ``(N, H, W)`` (grayscale) or ``(N, H, W, 3)`` (RGB)
+        with intensities in ``[0, 255]``.
+    labels:
+        Integer labels of shape ``(N,)``.
+    class_names:
+        Human-readable class names; ``class_names[labels[i]]`` names the
+        class of sample ``i``.
+    """
+
+    images: np.ndarray
+    labels: np.ndarray
+    class_names: "list[str]"
+
+    def __post_init__(self) -> None:
+        self.images = np.asarray(self.images, dtype=np.float64)
+        self.labels = np.asarray(self.labels, dtype=np.intp)
+        if self.images.ndim not in (3, 4):
+            raise ValueError(
+                f"images must be (N, H, W) or (N, H, W, 3), got {self.images.shape}"
+            )
+        if self.labels.shape != (self.images.shape[0],):
+            raise ValueError(
+                f"labels shape {self.labels.shape} does not match "
+                f"{self.images.shape[0]} images"
+            )
+        if len(self.class_names) == 0:
+            raise ValueError("class_names must not be empty")
+        if self.labels.size and (
+            self.labels.min() < 0 or self.labels.max() >= len(self.class_names)
+        ):
+            raise ValueError("labels out of range for class_names")
+
+    def __len__(self) -> int:
+        return int(self.images.shape[0])
+
+    @property
+    def num_classes(self) -> int:
+        """Number of classes."""
+        return len(self.class_names)
+
+    @property
+    def image_shape(self) -> tuple:
+        """Shape of a single image."""
+        return tuple(self.images.shape[1:])
+
+    def subset(self, indices: np.ndarray) -> "Dataset":
+        """A new dataset holding only the given sample indices."""
+        indices = np.asarray(indices, dtype=np.intp)
+        return Dataset(
+            images=self.images[indices],
+            labels=self.labels[indices],
+            class_names=list(self.class_names),
+        )
+
+    def indices_of_class(self, label: int) -> np.ndarray:
+        """Indices of all samples of class ``label`` (in dataset order)."""
+        if not 0 <= label < self.num_classes:
+            raise ValueError(f"label {label} out of range")
+        return np.flatnonzero(self.labels == label)
+
+    def class_counts(self) -> np.ndarray:
+        """Number of samples per class."""
+        return np.bincount(self.labels, minlength=self.num_classes)
+
+    def with_images(self, images: np.ndarray) -> "Dataset":
+        """A copy of the dataset with ``images`` replaced (same labels).
+
+        Used to build compressed variants of a dataset: the images change,
+        labels and class names do not.
+        """
+        images = np.asarray(images, dtype=np.float64)
+        if images.shape[0] != len(self):
+            raise ValueError(
+                f"expected {len(self)} images, got {images.shape[0]}"
+            )
+        return Dataset(
+            images=images, labels=self.labels.copy(),
+            class_names=list(self.class_names),
+        )
+
+    def uncompressed_bytes(self) -> int:
+        """Raw storage size at one byte per sample value."""
+        return int(self.images.size)
+
+
+def train_test_split(
+    dataset: Dataset, test_fraction: float = 0.25, seed: int = 0
+) -> tuple:
+    """Stratified split into train and test datasets.
+
+    Every class contributes the same fraction of samples to the test set,
+    so accuracy differences between compression schemes are not an
+    artefact of class imbalance.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed)
+    train_indices = []
+    test_indices = []
+    for label in range(dataset.num_classes):
+        class_indices = dataset.indices_of_class(label)
+        permuted = rng.permutation(class_indices)
+        test_count = max(1, int(round(test_fraction * class_indices.size)))
+        if test_count >= class_indices.size:
+            raise ValueError(
+                f"class {label} has too few samples ({class_indices.size}) "
+                f"for test_fraction={test_fraction}"
+            )
+        test_indices.append(permuted[:test_count])
+        train_indices.append(permuted[test_count:])
+    train = dataset.subset(np.concatenate(train_indices))
+    test = dataset.subset(np.concatenate(test_indices))
+    return train, test

@@ -1,0 +1,57 @@
+"""Algorithm 1, step 1: sampling representative images from every class.
+
+The paper samples every ``k``-th image of each class so that the
+frequency statistics reflect the whole label distribution without
+scanning the full dataset.  :func:`sample_class_representatives`
+implements exactly that interval sampling over a
+:class:`~repro.data.dataset.Dataset`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+
+
+def sample_class_representatives(
+    dataset: Dataset, interval: int = 1, max_per_class: int = None
+) -> Dataset:
+    """Select every ``interval``-th image of each class.
+
+    Parameters
+    ----------
+    dataset:
+        The labelled dataset to sample from.
+    interval:
+        Sampling interval ``k`` of Algorithm 1; ``interval=1`` keeps every
+        image, ``interval=4`` keeps every fourth image of each class.
+    max_per_class:
+        Optional cap on the number of sampled images per class, applied
+        after interval sampling.
+
+    Returns
+    -------
+    Dataset
+        The sampled sub-dataset.  Every class present in ``dataset``
+        contributes at least one image (the first of the class), so no
+        class's frequency signature is dropped from the analysis.
+    """
+    if interval < 1:
+        raise ValueError("interval must be at least 1")
+    if max_per_class is not None and max_per_class < 1:
+        raise ValueError("max_per_class must be at least 1 when given")
+    selected = []
+    for label in range(dataset.num_classes):
+        class_indices = dataset.indices_of_class(label)
+        if class_indices.size == 0:
+            continue
+        picked = class_indices[::interval]
+        if picked.size == 0:
+            picked = class_indices[:1]
+        if max_per_class is not None:
+            picked = picked[:max_per_class]
+        selected.append(picked)
+    if not selected:
+        raise ValueError("dataset has no samples to draw from")
+    return dataset.subset(np.concatenate(selected))

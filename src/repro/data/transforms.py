@@ -1,0 +1,28 @@
+"""Transforms between image datasets and network input tensors."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def images_to_nchw(images: np.ndarray) -> np.ndarray:
+    """Convert ``(N, H, W)`` or ``(N, H, W, C)`` images to NCHW tensors."""
+    images = np.asarray(images, dtype=np.float64)
+    if images.ndim == 3:
+        return images[:, None, :, :]
+    if images.ndim == 4:
+        return images.transpose(0, 3, 1, 2)
+    raise ValueError(f"expected 3-D or 4-D image array, got {images.shape}")
+
+
+def normalize_images(images: np.ndarray, scale: float = 255.0) -> np.ndarray:
+    """Map intensities from ``[0, scale]`` to zero-centred ``[-1, 1]``."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    images = np.asarray(images, dtype=np.float64)
+    return (images / scale - 0.5) * 2.0
+
+
+def prepare_for_network(images: np.ndarray) -> np.ndarray:
+    """Standard preprocessing: NCHW layout plus [-1, 1] normalisation."""
+    return normalize_images(images_to_nchw(images))

@@ -1,0 +1,39 @@
+"""Experiment harness: one module per figure of the paper's evaluation.
+
+Every experiment module exposes a ``run(...)`` function that takes an
+:class:`~repro.experiments.common.ExperimentConfig` (controlling dataset
+size, training epochs and seeds) and returns a structured result object
+with a ``rows()`` method for tabular rendering and a ``format_table()``
+helper, so the same code backs the unit tests, the pytest benchmarks in
+``benchmarks/`` and the standalone example scripts.
+
+Experiment index (see DESIGN.md for the full mapping):
+
+========  ===========================================================
+Figure    Module
+========  ===========================================================
+Fig. 2    :mod:`repro.experiments.fig2_motivation`
+Fig. 3    :mod:`repro.experiments.fig3_feature_removal`
+Fig. 5    :mod:`repro.experiments.fig5_band_sensitivity`
+Fig. 6    :mod:`repro.experiments.fig6_k3_sweep`
+Fig. 7    :mod:`repro.experiments.fig7_methods`
+Fig. 8    :mod:`repro.experiments.fig8_generality`
+Fig. 9    :mod:`repro.experiments.fig9_power`
+========  ===========================================================
+"""
+
+from repro.experiments.common import (
+    ExperimentConfig,
+    TrainedClassifier,
+    format_table,
+    make_splits,
+    train_classifier,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "TrainedClassifier",
+    "format_table",
+    "make_splits",
+    "train_classifier",
+]

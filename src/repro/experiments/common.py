@@ -1,0 +1,213 @@
+"""Shared infrastructure for the figure-reproduction experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.core.baselines import CompressedDataset
+from repro.data.dataset import Dataset, train_test_split
+from repro.data.synthetic import FreqNetConfig, generate_freqnet
+from repro.data.transforms import prepare_for_network
+from repro.nn import models
+from repro.nn.base import Sequential
+from repro.nn.optim import Adam
+from repro.nn.trainer import Trainer, TrainingHistory
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Scale and reproducibility knobs shared by all experiments.
+
+    Attributes
+    ----------
+    images_per_class / image_size / noise_std:
+        Forwarded to the FreqNet generator.
+    test_fraction:
+        Fraction of each class held out for testing.
+    epochs / batch_size / learning_rate:
+        Training-loop parameters.
+    model_name:
+        Default architecture (a key of
+        :data:`repro.nn.models.MODEL_BUILDERS`).
+    dataset_seed / split_seed / model_seed:
+        Seeds for the three sources of randomness.
+    sampling_interval:
+        Algorithm-1 interval used when fitting DeepN-JPEG inside an
+        experiment.
+    """
+
+    images_per_class: int = 30
+    image_size: int = 32
+    noise_std: float = 1.5
+    test_fraction: float = 0.25
+    epochs: int = 20
+    batch_size: int = 32
+    learning_rate: float = 0.002
+    model_name: str = "AlexNet"
+    dataset_seed: int = 7
+    split_seed: int = 0
+    model_seed: int = 0
+    sampling_interval: int = 2
+
+    def __post_init__(self) -> None:
+        if self.images_per_class < 4:
+            raise ValueError("images_per_class must be at least 4")
+        if self.epochs < 1:
+            raise ValueError("epochs must be at least 1")
+        if self.model_name not in models.MODEL_BUILDERS:
+            raise ValueError(f"unknown model {self.model_name!r}")
+
+    @classmethod
+    def tiny(cls) -> "ExperimentConfig":
+        """A configuration sized for CI / pytest-benchmark smoke runs."""
+        return cls(images_per_class=16, epochs=10)
+
+    @classmethod
+    def small(cls) -> "ExperimentConfig":
+        """The default configuration used for the EXPERIMENTS.md numbers."""
+        return cls(images_per_class=30, epochs=20)
+
+    @classmethod
+    def full(cls) -> "ExperimentConfig":
+        """A larger configuration for tighter accuracy estimates."""
+        return cls(images_per_class=60, epochs=30)
+
+    def with_overrides(self, **kwargs) -> "ExperimentConfig":
+        """A copy of this configuration with selected fields replaced."""
+        return replace(self, **kwargs)
+
+    def freqnet_config(self) -> FreqNetConfig:
+        """The FreqNet generator configuration implied by this experiment."""
+        return FreqNetConfig(
+            image_size=self.image_size,
+            images_per_class=self.images_per_class,
+            noise_std=self.noise_std,
+            seed=self.dataset_seed,
+        )
+
+    def input_shape(self) -> tuple:
+        """CHW input shape of the classifier."""
+        return (1, self.image_size, self.image_size)
+
+
+def make_splits(config: ExperimentConfig) -> tuple:
+    """Generate FreqNet and return the stratified (train, test) split."""
+    dataset = generate_freqnet(config.freqnet_config())
+    return train_test_split(
+        dataset, test_fraction=config.test_fraction, seed=config.split_seed
+    )
+
+
+@dataclass
+class TrainedClassifier:
+    """A trained model together with its trainer and training history."""
+
+    model: Sequential
+    trainer: Trainer
+    history: TrainingHistory
+    config: ExperimentConfig = field(repr=False, default=None)
+
+    def accuracy_on(self, dataset) -> float:
+        """Top-1 accuracy on a Dataset or CompressedDataset."""
+        dataset = _as_dataset(dataset)
+        return self.trainer.evaluate(
+            prepare_for_network(dataset.images), dataset.labels
+        )
+
+    def predictions_on(self, dataset) -> np.ndarray:
+        """Predicted labels on a Dataset or CompressedDataset."""
+        dataset = _as_dataset(dataset)
+        return self.model.predict(prepare_for_network(dataset.images))
+
+
+def train_classifier(
+    train_dataset,
+    config: ExperimentConfig,
+    model_name: str = None,
+    validation_dataset=None,
+    epochs: int = None,
+) -> TrainedClassifier:
+    """Train a classifier of ``model_name`` on ``train_dataset``.
+
+    ``train_dataset`` may be a Dataset or a CompressedDataset (the CASE-2
+    protocol trains directly on decompressed images).
+    """
+    train_dataset = _as_dataset(train_dataset)
+    model_name = model_name if model_name is not None else config.model_name
+    model = models.build_model(
+        model_name,
+        num_classes=train_dataset.num_classes,
+        input_shape=config.input_shape(),
+        seed=config.model_seed,
+    )
+    trainer = Trainer(
+        model,
+        optimizer=Adam(config.learning_rate),
+        batch_size=config.batch_size,
+        seed=config.model_seed,
+    )
+    validation_data = None
+    if validation_dataset is not None:
+        validation_dataset = _as_dataset(validation_dataset)
+        validation_data = (
+            prepare_for_network(validation_dataset.images),
+            validation_dataset.labels,
+        )
+    history = trainer.fit(
+        prepare_for_network(train_dataset.images),
+        train_dataset.labels,
+        epochs=epochs if epochs is not None else config.epochs,
+        validation_data=validation_data,
+    )
+    return TrainedClassifier(
+        model=model, trainer=trainer, history=history, config=config
+    )
+
+
+def relative_compression_rate(
+    compressed: CompressedDataset, reference: CompressedDataset
+) -> float:
+    """Compression rate relative to the reference (the paper's CR=1 anchor).
+
+    The paper reports every compression rate relative to the QF=100 JPEG
+    dataset ("Original", CR=1), not to raw pixels.
+    """
+    return reference.total_bytes / compressed.total_bytes
+
+
+def format_table(headers: "list[str]", rows: "list[list]") -> str:
+    """Render a plain-text table with aligned columns."""
+    if not rows:
+        return " | ".join(headers)
+    formatted_rows = [
+        [_format_cell(cell) for cell in row] for row in rows
+    ]
+    widths = [
+        max(len(str(header)), *(len(row[i]) for row in formatted_rows))
+        for i, header in enumerate(headers)
+    ]
+    lines = [
+        " | ".join(str(h).ljust(w) for h, w in zip(headers, widths)),
+        "-+-".join("-" * w for w in widths),
+    ]
+    for row in formatted_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def _as_dataset(dataset) -> Dataset:
+    if isinstance(dataset, CompressedDataset):
+        return dataset.dataset
+    if isinstance(dataset, Dataset):
+        return dataset
+    raise TypeError(
+        f"expected a Dataset or CompressedDataset, got {type(dataset).__name__}"
+    )

@@ -1,0 +1,125 @@
+"""Fig. 2: accuracy degradation of HVS-oriented JPEG at high compression.
+
+CASE 1 trains the classifier on high-quality (QF=100) images and tests it
+on images compressed at various quality factors; CASE 2 trains on the
+compressed images and tests on high-quality ones.  Fig. 2(a) reports the
+final accuracy of both cases at QF ∈ {100, 50, 20}; Fig. 2(b) tracks the
+CASE-2 accuracy over training epochs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.baselines import JpegCompressor
+from repro.experiments.common import (
+    ExperimentConfig,
+    format_table,
+    make_splits,
+    relative_compression_rate,
+    train_classifier,
+)
+
+#: Quality factors evaluated in the figure.
+FIG2_QUALITY_FACTORS = (100, 50, 20)
+
+
+@dataclass(frozen=True)
+class Fig2Entry:
+    """One (quality factor, case) accuracy measurement."""
+
+    quality: int
+    compression_ratio: float
+    case1_accuracy: float
+    case2_accuracy: float
+    case2_accuracy_per_epoch: "tuple[float, ...]"
+
+
+@dataclass
+class Fig2Result:
+    """All measurements behind Fig. 2(a) and 2(b)."""
+
+    entries: "list[Fig2Entry]" = field(default_factory=list)
+
+    def rows(self) -> "list[list]":
+        return [
+            [
+                f"QF={entry.quality}",
+                entry.compression_ratio,
+                entry.case1_accuracy,
+                entry.case2_accuracy,
+            ]
+            for entry in self.entries
+        ]
+
+    def format_table(self) -> str:
+        return format_table(
+            ["Quality", "CR (vs QF=100)", "CASE 1 top-1", "CASE 2 top-1"],
+            self.rows(),
+        )
+
+    def accuracy_drop_case1(self) -> float:
+        """Accuracy lost by CASE 1 between the lowest and highest quality."""
+        return self.entries[0].case1_accuracy - self.entries[-1].case1_accuracy
+
+    def accuracy_drop_case2(self) -> float:
+        """Accuracy lost by CASE 2 between the lowest and highest quality."""
+        return self.entries[0].case2_accuracy - self.entries[-1].case2_accuracy
+
+    def epoch_curves(self) -> dict:
+        """Fig. 2(b): CASE-2 validation accuracy per epoch, keyed by QF."""
+        return {
+            entry.quality: list(entry.case2_accuracy_per_epoch)
+            for entry in self.entries
+        }
+
+
+def run(
+    config: ExperimentConfig = None,
+    quality_factors: "tuple[int, ...]" = FIG2_QUALITY_FACTORS,
+) -> Fig2Result:
+    """Reproduce Fig. 2 at the given experiment scale."""
+    config = config if config is not None else ExperimentConfig.small()
+    train_dataset, test_dataset = make_splits(config)
+
+    compressed_train = {
+        quality: JpegCompressor(quality).compress_dataset(train_dataset)
+        for quality in quality_factors
+    }
+    compressed_test = {
+        quality: JpegCompressor(quality).compress_dataset(test_dataset)
+        for quality in quality_factors
+    }
+    reference = compressed_test[max(quality_factors)]
+
+    # CASE 1: one model trained on high-quality images, tested at every QF.
+    case1_model = train_classifier(
+        compressed_train[max(quality_factors)], config
+    )
+
+    result = Fig2Result()
+    for quality in quality_factors:
+        case1_accuracy = case1_model.accuracy_on(compressed_test[quality])
+        # CASE 2: train on images compressed at this QF, test on high quality.
+        case2_model = train_classifier(
+            compressed_train[quality],
+            config,
+            validation_dataset=compressed_test[max(quality_factors)],
+        )
+        case2_accuracy = case2_model.accuracy_on(
+            compressed_test[max(quality_factors)]
+        )
+        result.entries.append(
+            Fig2Entry(
+                quality=quality,
+                compression_ratio=relative_compression_rate(
+                    compressed_test[quality], reference
+                ),
+                case1_accuracy=case1_accuracy,
+                case2_accuracy=case2_accuracy,
+                case2_accuracy_per_epoch=tuple(
+                    case2_model.history.validation_accuracy
+                ),
+            )
+        )
+    return result

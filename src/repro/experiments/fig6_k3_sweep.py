@@ -1,0 +1,114 @@
+"""Fig. 6: trading compression rate against accuracy through the LF slope k3.
+
+For each candidate ``k3`` the DeepN-JPEG table is re-designed, the train
+and test sets are compressed with it, a classifier is trained on the
+compressed training set and evaluated on the compressed test set (the
+end-to-end deployment scenario), and the compression rate is reported
+relative to the QF=100 "Original" dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.baselines import JpegCompressor
+from repro.core.config import DeepNJpegConfig
+from repro.core.pipeline import DeepNJpeg
+from repro.experiments.common import (
+    ExperimentConfig,
+    format_table,
+    make_splits,
+    relative_compression_rate,
+    train_classifier,
+)
+from repro.experiments.design_flow import derive_design_config
+
+#: The k3 values swept in the paper's Fig. 6.
+FIG6_K3_VALUES = (1.0, 2.0, 3.0, 4.0, 5.0)
+
+
+@dataclass(frozen=True)
+class Fig6Entry:
+    """Compression rate and accuracy for one k3 value."""
+
+    k3: float
+    compression_ratio: float
+    accuracy: float
+    mean_quantization_step: float
+
+
+@dataclass
+class Fig6Result:
+    """All k3 sweep points."""
+
+    entries: "list[Fig6Entry]" = field(default_factory=list)
+    baseline_accuracy: float = 0.0
+
+    def rows(self) -> "list[list]":
+        return [
+            [f"k3={entry.k3:g}", entry.compression_ratio, entry.accuracy,
+             entry.mean_quantization_step]
+            for entry in self.entries
+        ]
+
+    def format_table(self) -> str:
+        return format_table(
+            ["LF slope", "CR (vs QF=100)", "Top-1 accuracy", "Mean Q step"],
+            self.rows(),
+        )
+
+    def best_k3(self, tolerance: float = 0.01) -> float:
+        """The k3 giving the best CR while staying within ``tolerance`` of
+        the baseline accuracy (the paper's selection rule)."""
+        acceptable = [
+            entry for entry in self.entries
+            if entry.accuracy >= self.baseline_accuracy - tolerance
+        ]
+        candidates = acceptable if acceptable else self.entries
+        return max(candidates, key=lambda entry: entry.compression_ratio).k3
+
+
+def run(
+    config: ExperimentConfig = None,
+    k3_values: "tuple[float, ...]" = FIG6_K3_VALUES,
+    anchors: dict = None,
+) -> Fig6Result:
+    """Reproduce the Fig. 6 k3 sweep."""
+    config = config if config is not None else ExperimentConfig.small()
+    train_dataset, test_dataset = make_splits(config)
+
+    # Baseline: classifier trained and tested on the QF=100 dataset.
+    original_train = JpegCompressor(100).compress_dataset(train_dataset)
+    original_test = JpegCompressor(100).compress_dataset(test_dataset)
+    baseline = train_classifier(original_train, config)
+    baseline_accuracy = baseline.accuracy_on(original_test)
+
+    base_design = derive_design_config(config, anchors=anchors)
+    result = Fig6Result(baseline_accuracy=baseline_accuracy)
+    for k3 in k3_values:
+        design_config = DeepNJpegConfig(
+            lf_band_count=base_design.lf_band_count,
+            mf_band_count=base_design.mf_band_count,
+            q_max_step=base_design.q_max_step,
+            q1=base_design.q1,
+            q2=base_design.q2,
+            q_min=base_design.q_min,
+            k3=float(k3),
+            lf_intercept=base_design.lf_intercept,
+            sampling_interval=base_design.sampling_interval,
+        )
+        deepn = DeepNJpeg(design_config).fit(train_dataset)
+        compressed_train = deepn.compress_dataset(train_dataset)
+        compressed_test = deepn.compress_dataset(test_dataset)
+        classifier = train_classifier(compressed_train, config)
+        result.entries.append(
+            Fig6Entry(
+                k3=float(k3),
+                compression_ratio=relative_compression_rate(
+                    compressed_test, original_test
+                ),
+                accuracy=classifier.accuracy_on(compressed_test),
+                mean_quantization_step=deepn.table.mean_step(),
+            )
+        )
+    return result

@@ -1,0 +1,143 @@
+"""Fig. 7: compression rate and accuracy of DeepN-JPEG vs the baselines.
+
+The compared candidates are those of the paper: the "Original" dataset
+(JPEG at QF=100, the CR=1 reference), "RM-HF" (remove the top-N highest
+frequency components, N ∈ {3, 6, 9}), "SAME-Q" (one quantization step for
+every band, step ∈ {4, 8, 12}) and DeepN-JPEG.  For every candidate the
+train and test sets are compressed, a classifier is trained on the
+compressed training set and evaluated on the compressed test set, and the
+compression rate is reported relative to "Original".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.baselines import (
+    DatasetCompressor,
+    JpegCompressor,
+    RemoveHighFrequencyCompressor,
+    SameQCompressor,
+)
+from repro.core.pipeline import DeepNJpeg, DeepNJpegCompressor
+from repro.experiments.common import (
+    ExperimentConfig,
+    format_table,
+    make_splits,
+    relative_compression_rate,
+    train_classifier,
+)
+from repro.experiments.design_flow import derive_design_config
+
+#: RM-HF and SAME-Q parameter sets evaluated in the paper's Fig. 7.
+FIG7_RMHF_COMPONENTS = (3, 6, 9)
+FIG7_SAMEQ_STEPS = (4, 8, 12)
+
+
+@dataclass(frozen=True)
+class Fig7Entry:
+    """Compression rate and accuracy of one candidate."""
+
+    method: str
+    compression_ratio: float
+    accuracy: float
+    bytes_per_image: float
+    mean_psnr: float
+
+
+@dataclass
+class Fig7Result:
+    """All candidates of the Fig. 7 comparison."""
+
+    entries: "list[Fig7Entry]" = field(default_factory=list)
+
+    def rows(self) -> "list[list]":
+        return [
+            [entry.method, entry.compression_ratio, entry.accuracy,
+             round(entry.bytes_per_image, 1), entry.mean_psnr]
+            for entry in self.entries
+        ]
+
+    def format_table(self) -> str:
+        return format_table(
+            ["Method", "CR (vs Original)", "Top-1 accuracy",
+             "Bytes/image", "PSNR (dB)"],
+            self.rows(),
+        )
+
+    def entry(self, method: str) -> Fig7Entry:
+        """Look up one candidate by name."""
+        for candidate in self.entries:
+            if candidate.method == method:
+                return candidate
+        raise KeyError(f"no entry for method {method!r}")
+
+    def deepn_entry(self) -> Fig7Entry:
+        """The DeepN-JPEG row."""
+        return self.entry("DeepN-JPEG")
+
+    def original_entry(self) -> Fig7Entry:
+        """The Original (QF=100) row."""
+        return self.entries[0]
+
+    def bytes_per_image_by_method(self) -> dict:
+        """Average compressed bytes per image, keyed by method (for Fig. 9)."""
+        return {
+            entry.method: entry.bytes_per_image for entry in self.entries
+        }
+
+
+def candidate_compressors(
+    deepn: DeepNJpeg,
+    rmhf_components: "tuple[int, ...]" = FIG7_RMHF_COMPONENTS,
+    sameq_steps: "tuple[int, ...]" = FIG7_SAMEQ_STEPS,
+) -> "list[DatasetCompressor]":
+    """The ordered list of candidates compared in Fig. 7."""
+    compressors: "list[DatasetCompressor]" = [JpegCompressor(100)]
+    compressors.extend(
+        RemoveHighFrequencyCompressor(count) for count in rmhf_components
+    )
+    compressors.extend(SameQCompressor(step) for step in sameq_steps)
+    compressors.append(DeepNJpegCompressor(deepn))
+    return compressors
+
+
+def run(
+    config: ExperimentConfig = None,
+    deepn_config=None,
+    anchors: dict = None,
+    rmhf_components: "tuple[int, ...]" = FIG7_RMHF_COMPONENTS,
+    sameq_steps: "tuple[int, ...]" = FIG7_SAMEQ_STEPS,
+) -> Fig7Result:
+    """Reproduce the Fig. 7 comparison."""
+    config = config if config is not None else ExperimentConfig.small()
+    train_dataset, test_dataset = make_splits(config)
+    if deepn_config is None:
+        deepn_config = derive_design_config(config, anchors=anchors)
+    deepn = DeepNJpeg(deepn_config).fit(train_dataset)
+
+    result = Fig7Result()
+    reference_test = None
+    for compressor in candidate_compressors(
+        deepn, rmhf_components, sameq_steps
+    ):
+        compressed_train = compressor.compress_dataset(train_dataset)
+        compressed_test = compressor.compress_dataset(test_dataset)
+        if reference_test is None:
+            reference_test = compressed_test
+        classifier = train_classifier(compressed_train, config)
+        method_name = (
+            "Original" if compressor.name == "JPEG (QF=100)" else compressor.name
+        )
+        result.entries.append(
+            Fig7Entry(
+                method=method_name,
+                compression_ratio=relative_compression_rate(
+                    compressed_test, reference_test
+                ),
+                accuracy=classifier.accuracy_on(compressed_test),
+                bytes_per_image=compressed_test.bytes_per_image,
+                mean_psnr=compressed_test.mean_psnr,
+            )
+        )
+    return result

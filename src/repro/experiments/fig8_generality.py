@@ -1,0 +1,127 @@
+"""Fig. 8: generality of DeepN-JPEG across DNN architectures.
+
+Every architecture family of the paper (GoogLeNet, VGG, ResNet-34,
+ResNet-50 — plus AlexNet for completeness) is trained and tested on the
+dataset compressed by each candidate: Original (QF=100), DeepN-JPEG, and
+quality-factor-scaled JPEG at QF=80 and QF=50.  The paper's claim is that
+DeepN-JPEG maintains the original accuracy for every architecture while
+the aggressive QF-scaled JPEG does not, at a comparable compression rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.baselines import JpegCompressor
+from repro.core.pipeline import DeepNJpeg
+from repro.experiments.common import (
+    ExperimentConfig,
+    format_table,
+    make_splits,
+    relative_compression_rate,
+    train_classifier,
+)
+from repro.experiments.design_flow import derive_design_config
+
+#: Models evaluated in the paper's Fig. 8.
+FIG8_MODELS = ("GoogLeNet", "VGG-16", "ResNet-34", "ResNet-50")
+#: Compression candidates evaluated per model.
+FIG8_METHODS = ("Original", "DeepN-JPEG", "JPEG (QF=80)", "JPEG (QF=50)")
+
+
+@dataclass(frozen=True)
+class Fig8Entry:
+    """Accuracy of one (model, compression method) pair."""
+
+    model: str
+    method: str
+    accuracy: float
+    compression_ratio: float
+
+
+@dataclass
+class Fig8Result:
+    """All (model, method) accuracy measurements."""
+
+    entries: "list[Fig8Entry]" = field(default_factory=list)
+
+    def rows(self) -> "list[list]":
+        return [
+            [entry.model, entry.method, entry.accuracy, entry.compression_ratio]
+            for entry in self.entries
+        ]
+
+    def format_table(self) -> str:
+        return format_table(
+            ["Model", "Method", "Top-1 accuracy", "CR (vs Original)"],
+            self.rows(),
+        )
+
+    def accuracy(self, model: str, method: str) -> float:
+        """Accuracy of one (model, method) pair."""
+        for entry in self.entries:
+            if entry.model == model and entry.method == method:
+                return entry.accuracy
+        raise KeyError(f"no entry for ({model!r}, {method!r})")
+
+    def accuracy_drop(self, model: str, method: str) -> float:
+        """Accuracy lost by ``method`` relative to Original for ``model``."""
+        return self.accuracy(model, "Original") - self.accuracy(model, method)
+
+    def models(self) -> "list[str]":
+        """The evaluated model names, in order."""
+        seen = []
+        for entry in self.entries:
+            if entry.model not in seen:
+                seen.append(entry.model)
+        return seen
+
+
+def run(
+    config: ExperimentConfig = None,
+    model_names: "tuple[str, ...]" = FIG8_MODELS,
+    deepn_config=None,
+    anchors: dict = None,
+    epochs: int = None,
+) -> Fig8Result:
+    """Reproduce the Fig. 8 generality comparison."""
+    config = config if config is not None else ExperimentConfig.small()
+    train_dataset, test_dataset = make_splits(config)
+    if deepn_config is None:
+        deepn_config = derive_design_config(config, anchors=anchors)
+    deepn = DeepNJpeg(deepn_config).fit(train_dataset)
+
+    candidates = {
+        "Original": JpegCompressor(100),
+        "DeepN-JPEG": deepn,
+        "JPEG (QF=80)": JpegCompressor(80),
+        "JPEG (QF=50)": JpegCompressor(50),
+    }
+    compressed = {}
+    for method, compressor in candidates.items():
+        compressed[method] = (
+            compressor.compress_dataset(train_dataset),
+            compressor.compress_dataset(test_dataset),
+        )
+    reference_test = compressed["Original"][1]
+
+    result = Fig8Result()
+    for model_name in model_names:
+        for method in FIG8_METHODS:
+            if method not in compressed:
+                continue
+            compressed_train, compressed_test = compressed[method]
+            classifier = train_classifier(
+                compressed_train, config, model_name=model_name, epochs=epochs
+            )
+            result.entries.append(
+                Fig8Entry(
+                    model=model_name,
+                    method=method,
+                    accuracy=classifier.accuracy_on(compressed_test),
+                    compression_ratio=relative_compression_rate(
+                        compressed_test, reference_test
+                    ),
+                )
+            )
+    return result

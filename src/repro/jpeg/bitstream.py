@@ -1,0 +1,143 @@
+"""Bit-level writer and reader used by the entropy coder.
+
+The JPEG entropy-coded segment is a stream of variable-length Huffman
+codes and raw magnitude bits.  ``BitWriter`` packs bits MSB-first into a
+``bytearray`` (with the 0xFF byte-stuffing rule applied, as in T.81
+section B.1.1.5) and ``BitReader`` unpacks them again.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class BitWriter:
+    """Accumulates bits MSB-first and emits a stuffed JPEG byte stream."""
+
+    def __init__(self, byte_stuffing: bool = True) -> None:
+        self._buffer = bytearray()
+        self._accumulator = 0
+        self._bit_count = 0
+        self._bits_written = 0
+        self._byte_stuffing = byte_stuffing
+
+    def write_bits(self, value: int, length: int) -> None:
+        """Append the ``length`` low-order bits of ``value``, MSB first."""
+        if length < 0:
+            raise ValueError("bit length must be non-negative")
+        if length == 0:
+            return
+        if value < 0 or value >= (1 << length):
+            raise ValueError(
+                f"value {value} does not fit in {length} bits"
+            )
+        self._accumulator = (self._accumulator << length) | value
+        self._bit_count += length
+        self._bits_written += length
+        while self._bit_count >= 8:
+            self._bit_count -= 8
+            byte = (self._accumulator >> self._bit_count) & 0xFF
+            self._emit_byte(byte)
+        self._accumulator &= (1 << self._bit_count) - 1
+
+    def write_code(self, code: "tuple[int, int]") -> None:
+        """Append a ``(value, length)`` Huffman code."""
+        value, length = code
+        self.write_bits(value, length)
+
+    def _emit_byte(self, byte: int) -> None:
+        self._buffer.append(byte)
+        if self._byte_stuffing and byte == 0xFF:
+            self._buffer.append(0x00)
+
+    def getvalue(self) -> bytes:
+        """Flush (padding the final partial byte with 1-bits) and return bytes."""
+        if self._bit_count:
+            pad = 8 - self._bit_count
+            padded = (self._accumulator << pad) | ((1 << pad) - 1)
+            self._emit_byte(padded & 0xFF)
+            self._accumulator = 0
+            self._bit_count = 0
+        return bytes(self._buffer)
+
+    def __len__(self) -> int:
+        """Number of whole bytes emitted so far (excluding pending bits)."""
+        return len(self._buffer)
+
+    @property
+    def bit_length(self) -> int:
+        """Total number of payload bits written so far (excludes stuffing)."""
+        return self._bits_written
+
+
+class BitReader:
+    """Reads bits MSB-first from a stuffed JPEG byte stream."""
+
+    def __init__(self, data: bytes, byte_stuffing: bool = True) -> None:
+        self._data = bytes(data)
+        self._byte_stuffing = byte_stuffing
+        self._position = 0
+        self._accumulator = 0
+        self._bit_count = 0
+
+    def read_bit(self) -> int:
+        """Read a single bit; raises ``EOFError`` when exhausted."""
+        if self._bit_count == 0:
+            self._fill()
+        self._bit_count -= 1
+        return (self._accumulator >> self._bit_count) & 1
+
+    def read_bits(self, length: int) -> int:
+        """Read ``length`` bits and return them as an unsigned integer."""
+        if length < 0:
+            raise ValueError("bit length must be non-negative")
+        value = 0
+        for _ in range(length):
+            value = (value << 1) | self.read_bit()
+        return value
+
+    def _fill(self) -> None:
+        if self._position >= len(self._data):
+            raise EOFError("bit stream exhausted")
+        byte = self._data[self._position]
+        self._position += 1
+        if (
+            self._byte_stuffing
+            and byte == 0xFF
+            and self._position < len(self._data)
+            and self._data[self._position] == 0x00
+        ):
+            self._position += 1
+        self._accumulator = byte
+        self._bit_count = 8
+
+
+def magnitude_category(value: int) -> int:
+    """Return the JPEG size category (number of magnitude bits) of ``value``."""
+    value = int(value)
+    if value == 0:
+        return 0
+    return int(np.ceil(np.log2(abs(value) + 1)))
+
+
+def encode_magnitude(value: int) -> "tuple[int, int]":
+    """Encode ``value`` as JPEG magnitude bits ``(bits, length)``.
+
+    Positive values are written as-is; negative values use the one's
+    complement convention of T.81 (section F.1.2.1.1).
+    """
+    category = magnitude_category(value)
+    if category == 0:
+        return 0, 0
+    if value > 0:
+        return int(value), category
+    return int(value + (1 << category) - 1), category
+
+
+def decode_magnitude(bits: int, category: int) -> int:
+    """Invert :func:`encode_magnitude` given the raw bits and category."""
+    if category == 0:
+        return 0
+    if bits >> (category - 1):
+        return int(bits)
+    return int(bits - (1 << category) + 1)

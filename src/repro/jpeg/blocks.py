@@ -1,0 +1,94 @@
+"""Partitioning images into 8x8 blocks and reassembling them.
+
+JPEG operates on non-overlapping 8x8 blocks.  Images whose dimensions are
+not multiples of eight are padded by edge replication (the strategy used
+by libjpeg) before partitioning, and the padding is stripped again on
+reassembly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.jpeg.dct import BLOCK_SIZE
+
+
+def pad_to_block_multiple(channel: np.ndarray) -> np.ndarray:
+    """Pad a 2-D channel with edge replication to a multiple of 8."""
+    channel = _require_channel(channel)
+    height, width = channel.shape
+    pad_h = (-height) % BLOCK_SIZE
+    pad_w = (-width) % BLOCK_SIZE
+    if pad_h == 0 and pad_w == 0:
+        return channel
+    return np.pad(channel, ((0, pad_h), (0, pad_w)), mode="edge")
+
+
+def partition_blocks(channel: np.ndarray) -> tuple:
+    """Split a 2-D channel into a stack of 8x8 blocks.
+
+    Returns
+    -------
+    (blocks, grid_shape):
+        ``blocks`` has shape ``(N, 8, 8)`` where blocks are ordered
+        row-major over the block grid.  ``grid_shape`` is the number of
+        block rows and columns, needed by :func:`assemble_blocks`.
+    """
+    padded = pad_to_block_multiple(channel)
+    rows = padded.shape[0] // BLOCK_SIZE
+    cols = padded.shape[1] // BLOCK_SIZE
+    blocks = (
+        padded.reshape(rows, BLOCK_SIZE, cols, BLOCK_SIZE)
+        .transpose(0, 2, 1, 3)
+        .reshape(rows * cols, BLOCK_SIZE, BLOCK_SIZE)
+    )
+    return blocks, (rows, cols)
+
+
+def assemble_blocks(
+    blocks: np.ndarray, grid_shape: tuple, image_shape: tuple
+) -> np.ndarray:
+    """Reassemble blocks produced by :func:`partition_blocks`.
+
+    Parameters
+    ----------
+    blocks:
+        Stack of shape ``(rows * cols, 8, 8)``.
+    grid_shape:
+        ``(rows, cols)`` of the block grid.
+    image_shape:
+        Original ``(height, width)``; padding added before partitioning is
+        cropped away.
+    """
+    blocks = np.asarray(blocks, dtype=np.float64)
+    rows, cols = grid_shape
+    if blocks.shape != (rows * cols, BLOCK_SIZE, BLOCK_SIZE):
+        raise ValueError(
+            f"blocks shape {blocks.shape} does not match grid {grid_shape}"
+        )
+    channel = (
+        blocks.reshape(rows, cols, BLOCK_SIZE, BLOCK_SIZE)
+        .transpose(0, 2, 1, 3)
+        .reshape(rows * BLOCK_SIZE, cols * BLOCK_SIZE)
+    )
+    height, width = image_shape
+    return channel[:height, :width]
+
+
+def level_shift(channel: np.ndarray) -> np.ndarray:
+    """Shift pixel values from ``[0, 255]`` to ``[-128, 127]``."""
+    return np.asarray(channel, dtype=np.float64) - 128.0
+
+
+def inverse_level_shift(channel: np.ndarray) -> np.ndarray:
+    """Undo :func:`level_shift` and clip back into ``[0, 255]``."""
+    return np.clip(np.asarray(channel, dtype=np.float64) + 128.0, 0.0, 255.0)
+
+
+def _require_channel(channel: np.ndarray) -> np.ndarray:
+    channel = np.asarray(channel, dtype=np.float64)
+    if channel.ndim != 2:
+        raise ValueError(f"expected a 2-D channel, got shape {channel.shape}")
+    if channel.shape[0] == 0 or channel.shape[1] == 0:
+        raise ValueError("channel must be non-empty")
+    return channel

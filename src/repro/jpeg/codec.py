@@ -1,0 +1,399 @@
+"""High-level JPEG-style encoders and decoders.
+
+Two codecs are provided:
+
+* :class:`GrayscaleJpegCodec` — single-channel images, one quantization
+  table, DC/AC luminance Huffman tables.
+* :class:`ColorJpegCodec` — RGB images through the YCbCr path with
+  optional 4:2:0 chroma subsampling, separate luma/chroma quantization
+  and Huffman tables.
+
+Both produce a real entropy-coded byte stream (so compressed sizes and
+compression ratios are measured, not estimated), and both can decode it
+back for accuracy-after-compression experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.jpeg import color as color_mod
+from repro.jpeg.bitstream import BitReader, BitWriter, decode_magnitude
+from repro.jpeg.blocks import (
+    assemble_blocks,
+    inverse_level_shift,
+    level_shift,
+    partition_blocks,
+)
+from repro.jpeg.dct import block_dct2d, block_idct2d
+from repro.jpeg.huffman import HuffmanTable
+from repro.jpeg.metrics import compression_ratio, psnr
+from repro.jpeg.quantization import QuantizationTable
+from repro.jpeg.rle import (
+    EOB_SYMBOL,
+    MAX_ZERO_RUN,
+    ZRL_SYMBOL,
+    block_symbol_histograms,
+    encode_ac,
+    encode_dc,
+)
+from repro.jpeg.zigzag import inverse_zigzag, zigzag
+
+# Fixed marker-segment overheads of a baseline JFIF file (bytes).
+_SOI_BYTES = 2
+_EOI_BYTES = 2
+_APP0_BYTES = 18
+_DQT_BYTES_PER_TABLE = 2 + 2 + 1 + 64
+_SOS_FIXED_BYTES = 2 + 6
+_SOS_PER_COMPONENT_BYTES = 2
+_SOF_FIXED_BYTES = 2 + 8
+_SOF_PER_COMPONENT_BYTES = 3
+_DHT_FIXED_BYTES = 2 + 2
+
+
+@dataclass(frozen=True)
+class CompressionResult:
+    """Outcome of compressing (and decompressing) one image.
+
+    Attributes
+    ----------
+    payload_bytes:
+        Size of the entropy-coded scan data.
+    header_bytes:
+        Size of the marker segments (SOI, APP0, DQT, SOF, DHT, SOS, EOI).
+    original_bytes:
+        Size of the uncompressed image (one byte per sample).
+    reconstructed:
+        The decoded image, same shape as the input, float64 in [0, 255].
+    """
+
+    payload_bytes: int
+    header_bytes: int
+    original_bytes: int
+    reconstructed: np.ndarray
+
+    @property
+    def total_bytes(self) -> int:
+        """Compressed file size including headers."""
+        return self.payload_bytes + self.header_bytes
+
+    @property
+    def compression_ratio(self) -> float:
+        """Original size divided by total compressed size."""
+        return compression_ratio(self.original_bytes, self.total_bytes)
+
+    @property
+    def payload_compression_ratio(self) -> float:
+        """Original size divided by entropy-coded payload size only."""
+        return compression_ratio(self.original_bytes, self.payload_bytes)
+
+    def psnr(self, original: np.ndarray) -> float:
+        """PSNR of the reconstruction against ``original``."""
+        return psnr(original, self.reconstructed)
+
+
+@dataclass
+class EncodedChannel:
+    """Entropy-coded representation of one channel."""
+
+    data: bytes
+    grid_shape: tuple
+    channel_shape: tuple
+    block_count: int
+
+
+class _ChannelCoder:
+    """Encode / decode one channel with a given quantization table."""
+
+    def __init__(
+        self,
+        table: QuantizationTable,
+        dc_huffman: HuffmanTable,
+        ac_huffman: HuffmanTable,
+    ) -> None:
+        self.table = table
+        self.dc_huffman = dc_huffman
+        self.ac_huffman = ac_huffman
+
+    def quantized_blocks(self, channel: np.ndarray) -> tuple:
+        """Return (zig-zag quantized blocks ``(N, 64)``, grid shape)."""
+        blocks, grid_shape = partition_blocks(level_shift(channel))
+        coefficients = block_dct2d(blocks)
+        quantized = self.table.quantize(coefficients)
+        return zigzag(quantized), grid_shape
+
+    def encode(self, channel: np.ndarray) -> EncodedChannel:
+        """Entropy-code one channel into bytes."""
+        zz_blocks, grid_shape = self.quantized_blocks(channel)
+        writer = BitWriter()
+        previous_dc = 0
+        for block in zz_blocks:
+            dc_token = encode_dc(int(block[0]), previous_dc)
+            previous_dc = int(block[0])
+            writer.write_code(self.dc_huffman.encode(dc_token.symbol))
+            writer.write_bits(dc_token.amplitude_bits, dc_token.amplitude_length)
+            for token in encode_ac(block[1:]):
+                writer.write_code(self.ac_huffman.encode(token.symbol))
+                writer.write_bits(token.amplitude_bits, token.amplitude_length)
+        return EncodedChannel(
+            data=writer.getvalue(),
+            grid_shape=grid_shape,
+            channel_shape=(channel.shape[0], channel.shape[1]),
+            block_count=zz_blocks.shape[0],
+        )
+
+    def decode(self, encoded: EncodedChannel) -> np.ndarray:
+        """Decode an :class:`EncodedChannel` back into a pixel channel."""
+        reader = BitReader(encoded.data)
+        zz_blocks = np.zeros((encoded.block_count, 64), dtype=np.int32)
+        previous_dc = 0
+        for block_index in range(encoded.block_count):
+            category = self.dc_huffman.decode_symbol(reader)
+            bits = reader.read_bits(category)
+            previous_dc += decode_magnitude(bits, category)
+            zz_blocks[block_index, 0] = previous_dc
+            position = 1
+            while position < 64:
+                symbol = self.ac_huffman.decode_symbol(reader)
+                if symbol == EOB_SYMBOL:
+                    break
+                if symbol == ZRL_SYMBOL:
+                    position += MAX_ZERO_RUN + 1
+                    continue
+                run = symbol >> 4
+                category = symbol & 0x0F
+                position += run
+                if position >= 64:
+                    raise ValueError("AC stream overruns block during decode")
+                bits = reader.read_bits(category)
+                zz_blocks[block_index, position] = decode_magnitude(
+                    bits, category
+                )
+                position += 1
+        quantized = inverse_zigzag(zz_blocks)
+        coefficients = self.table.dequantize(quantized)
+        blocks = block_idct2d(coefficients)
+        channel = assemble_blocks(
+            blocks, encoded.grid_shape, encoded.channel_shape
+        )
+        return inverse_level_shift(channel)
+
+
+class GrayscaleJpegCodec:
+    """Baseline-JPEG-style codec for single-channel images.
+
+    Parameters
+    ----------
+    table:
+        The quantization table used for every block; this is the object
+        DeepN-JPEG replaces.
+    optimize_huffman:
+        If true, build per-image optimized Huffman tables from the symbol
+        histogram (like ``jpeg_set_optimize`` in libjpeg); otherwise the
+        Annex K standard tables are used.
+    """
+
+    def __init__(
+        self, table: QuantizationTable, optimize_huffman: bool = False
+    ) -> None:
+        self.table = table
+        self.optimize_huffman = bool(optimize_huffman)
+        self._standard_dc = HuffmanTable.standard_dc_luminance()
+        self._standard_ac = HuffmanTable.standard_ac_luminance()
+
+    def _coder_for(self, channel: np.ndarray) -> _ChannelCoder:
+        if not self.optimize_huffman:
+            return _ChannelCoder(self.table, self._standard_dc, self._standard_ac)
+        base = _ChannelCoder(self.table, self._standard_dc, self._standard_ac)
+        zz_blocks, _ = base.quantized_blocks(channel)
+        dc_counts, ac_counts = block_symbol_histograms(zz_blocks)
+        dc_table = HuffmanTable.from_frequencies(dc_counts, "dc-optimized")
+        ac_table = HuffmanTable.from_frequencies(ac_counts, "ac-optimized")
+        return _ChannelCoder(self.table, dc_table, ac_table)
+
+    def encode(self, image: np.ndarray) -> EncodedChannel:
+        """Entropy-code a 2-D image; returns the encoded channel."""
+        image = _require_grayscale(image)
+        return self._coder_for(image).encode(image)
+
+    def decode(self, encoded: EncodedChannel) -> np.ndarray:
+        """Decode an image previously produced by :meth:`encode`."""
+        return _ChannelCoder(
+            self.table, self._standard_dc, self._standard_ac
+        ).decode(encoded) if not self.optimize_huffman else self._decode_optimized(encoded)
+
+    def _decode_optimized(self, encoded: EncodedChannel) -> np.ndarray:
+        raise NotImplementedError(
+            "decoding with per-image optimized tables requires keeping the "
+            "tables alongside the EncodedChannel; use compress() for "
+            "round-trip measurements"
+        )
+
+    def compress(self, image: np.ndarray) -> CompressionResult:
+        """Round-trip one image and report sizes and the reconstruction."""
+        image = _require_grayscale(image)
+        coder = self._coder_for(image)
+        encoded = coder.encode(image)
+        reconstructed = coder.decode(encoded)
+        header = self.header_bytes(coder)
+        return CompressionResult(
+            payload_bytes=len(encoded.data),
+            header_bytes=header,
+            original_bytes=int(image.shape[0] * image.shape[1]),
+            reconstructed=reconstructed,
+        )
+
+    def header_bytes(self, coder: _ChannelCoder = None) -> int:
+        """Marker-segment overhead of a single-component baseline file."""
+        if coder is None:
+            coder = _ChannelCoder(self.table, self._standard_dc, self._standard_ac)
+        dht = (
+            2 * _DHT_FIXED_BYTES
+            + coder.dc_huffman.header_cost_bytes()
+            + coder.ac_huffman.header_cost_bytes()
+        )
+        return (
+            _SOI_BYTES
+            + _APP0_BYTES
+            + _DQT_BYTES_PER_TABLE
+            + _SOF_FIXED_BYTES
+            + _SOF_PER_COMPONENT_BYTES
+            + dht
+            + _SOS_FIXED_BYTES
+            + _SOS_PER_COMPONENT_BYTES
+            + _EOI_BYTES
+        )
+
+
+class ColorJpegCodec:
+    """Baseline-JPEG-style codec for RGB images via the YCbCr path.
+
+    Parameters
+    ----------
+    luma_table:
+        Quantization table for the Y channel.
+    chroma_table:
+        Quantization table for Cb and Cr.  If omitted, the luma table is
+        reused (DeepN-JPEG designs its table from luma statistics and the
+        paper applies the framework per colour component).
+    subsample_chroma:
+        Apply 4:2:0 chroma subsampling before coding (the common default).
+    """
+
+    def __init__(
+        self,
+        luma_table: QuantizationTable,
+        chroma_table: QuantizationTable = None,
+        subsample_chroma: bool = True,
+        optimize_huffman: bool = False,
+    ) -> None:
+        self.luma_table = luma_table
+        self.chroma_table = chroma_table if chroma_table is not None else luma_table
+        self.subsample_chroma = bool(subsample_chroma)
+        self.optimize_huffman = bool(optimize_huffman)
+        self._dc_luma = HuffmanTable.standard_dc_luminance()
+        self._ac_luma = HuffmanTable.standard_ac_luminance()
+        self._dc_chroma = HuffmanTable.standard_dc_chrominance()
+        self._ac_chroma = HuffmanTable.standard_ac_chrominance()
+
+    def _coders(self, planes: "list[np.ndarray]") -> "list[_ChannelCoder]":
+        tables = [self.luma_table, self.chroma_table, self.chroma_table]
+        huffmans = [
+            (self._dc_luma, self._ac_luma),
+            (self._dc_chroma, self._ac_chroma),
+            (self._dc_chroma, self._ac_chroma),
+        ]
+        coders = []
+        for plane, table, (dc_table, ac_table) in zip(planes, tables, huffmans):
+            if self.optimize_huffman:
+                base = _ChannelCoder(table, dc_table, ac_table)
+                zz_blocks, _ = base.quantized_blocks(plane)
+                dc_counts, ac_counts = block_symbol_histograms(zz_blocks)
+                dc_table = HuffmanTable.from_frequencies(dc_counts, "dc-optimized")
+                ac_table = HuffmanTable.from_frequencies(ac_counts, "ac-optimized")
+            coders.append(_ChannelCoder(table, dc_table, ac_table))
+        return coders
+
+    def compress(self, image: np.ndarray) -> CompressionResult:
+        """Round-trip one RGB image and report sizes and the reconstruction."""
+        image = _require_rgb(image)
+        height, width, _ = image.shape
+        ycbcr = color_mod.rgb_to_ycbcr(image)
+        planes = [ycbcr[..., 0]]
+        if self.subsample_chroma:
+            planes.append(color_mod.subsample_420(ycbcr[..., 1]))
+            planes.append(color_mod.subsample_420(ycbcr[..., 2]))
+        else:
+            planes.append(ycbcr[..., 1])
+            planes.append(ycbcr[..., 2])
+        coders = self._coders(planes)
+        payload = 0
+        decoded_planes = []
+        for plane, coder in zip(planes, coders):
+            encoded = coder.encode(plane)
+            payload += len(encoded.data)
+            decoded_planes.append(coder.decode(encoded))
+        luma = decoded_planes[0]
+        if self.subsample_chroma:
+            cb = color_mod.upsample_420(decoded_planes[1], (height, width))
+            cr = color_mod.upsample_420(decoded_planes[2], (height, width))
+        else:
+            cb, cr = decoded_planes[1], decoded_planes[2]
+        reconstructed = color_mod.ycbcr_to_rgb(np.stack([luma, cb, cr], axis=-1))
+        return CompressionResult(
+            payload_bytes=payload,
+            header_bytes=self.header_bytes(coders),
+            original_bytes=int(height * width * 3),
+            reconstructed=reconstructed,
+        )
+
+    def header_bytes(self, coders: "list[_ChannelCoder]" = None) -> int:
+        """Marker-segment overhead of a three-component baseline file."""
+        if coders is None:
+            coders = self._coders(
+                [np.zeros((8, 8))] * 3
+            ) if not self.optimize_huffman else None
+        if coders is None:
+            raise ValueError(
+                "optimized Huffman header size depends on the image; pass coders"
+            )
+        unique_tables = {id(self.luma_table), id(self.chroma_table)}
+        dht = 0
+        seen = set()
+        for coder in coders:
+            for table in (coder.dc_huffman, coder.ac_huffman):
+                if id(table) in seen:
+                    continue
+                seen.add(id(table))
+                dht += _DHT_FIXED_BYTES + table.header_cost_bytes()
+        return (
+            _SOI_BYTES
+            + _APP0_BYTES
+            + len(unique_tables) * _DQT_BYTES_PER_TABLE
+            + _SOF_FIXED_BYTES
+            + 3 * _SOF_PER_COMPONENT_BYTES
+            + dht
+            + _SOS_FIXED_BYTES
+            + 3 * _SOS_PER_COMPONENT_BYTES
+            + _EOI_BYTES
+        )
+
+
+def _require_grayscale(image: np.ndarray) -> np.ndarray:
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 2:
+        raise ValueError(
+            f"expected a 2-D grayscale image, got shape {image.shape}"
+        )
+    return image
+
+
+def _require_rgb(image: np.ndarray) -> np.ndarray:
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 3 or image.shape[-1] != 3:
+        raise ValueError(
+            f"expected an (H, W, 3) RGB image, got shape {image.shape}"
+        )
+    return image

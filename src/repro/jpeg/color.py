@@ -1,0 +1,104 @@
+"""Colour-space conversion and chroma subsampling.
+
+JPEG compresses RGB images in the YCbCr colour space so that the two
+chrominance channels can be quantized (and optionally subsampled) more
+aggressively than luminance.  The conversion follows the JFIF convention
+(ITU-R BT.601 coefficients, full-range, Cb/Cr offset by 128).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# BT.601 luma coefficients used by JFIF.
+_KR = 0.299
+_KG = 0.587
+_KB = 0.114
+
+
+def rgb_to_ycbcr(rgb: np.ndarray) -> np.ndarray:
+    """Convert an ``(H, W, 3)`` RGB image to YCbCr.
+
+    Parameters
+    ----------
+    rgb:
+        Array of shape ``(H, W, 3)`` with values in ``[0, 255]`` (any float
+        or integer dtype).
+
+    Returns
+    -------
+    numpy.ndarray
+        Float64 array of shape ``(H, W, 3)``; channel 0 is luma Y in
+        ``[0, 255]``, channels 1 and 2 are Cb and Cr centred on 128.
+    """
+    rgb = _require_color_image(rgb)
+    r = rgb[..., 0]
+    g = rgb[..., 1]
+    b = rgb[..., 2]
+    y = _KR * r + _KG * g + _KB * b
+    cb = 128.0 + (b - y) / (2.0 * (1.0 - _KB))
+    cr = 128.0 + (r - y) / (2.0 * (1.0 - _KR))
+    return np.stack([y, cb, cr], axis=-1)
+
+
+def ycbcr_to_rgb(ycbcr: np.ndarray) -> np.ndarray:
+    """Convert an ``(H, W, 3)`` YCbCr image back to RGB.
+
+    Values are clipped to ``[0, 255]``; the output dtype is float64 so the
+    caller decides when (or whether) to round to integers.
+    """
+    ycbcr = _require_color_image(ycbcr)
+    y = ycbcr[..., 0]
+    cb = ycbcr[..., 1] - 128.0
+    cr = ycbcr[..., 2] - 128.0
+    r = y + 2.0 * (1.0 - _KR) * cr
+    b = y + 2.0 * (1.0 - _KB) * cb
+    g = (y - _KR * r - _KB * b) / _KG
+    rgb = np.stack([r, g, b], axis=-1)
+    return np.clip(rgb, 0.0, 255.0)
+
+
+def subsample_420(channel: np.ndarray) -> np.ndarray:
+    """Subsample one chroma channel by 2x in both dimensions (4:2:0).
+
+    Each output sample is the mean of the corresponding 2x2 block.  Odd
+    dimensions are handled by edge replication before averaging.
+    """
+    channel = np.asarray(channel, dtype=np.float64)
+    if channel.ndim != 2:
+        raise ValueError(f"expected a 2-D channel, got shape {channel.shape}")
+    height, width = channel.shape
+    pad_h = height % 2
+    pad_w = width % 2
+    if pad_h or pad_w:
+        channel = np.pad(channel, ((0, pad_h), (0, pad_w)), mode="edge")
+    return channel.reshape(
+        channel.shape[0] // 2, 2, channel.shape[1] // 2, 2
+    ).mean(axis=(1, 3))
+
+
+def upsample_420(channel: np.ndarray, shape: tuple) -> np.ndarray:
+    """Invert :func:`subsample_420` by nearest-neighbour replication.
+
+    Parameters
+    ----------
+    channel:
+        The subsampled 2-D channel.
+    shape:
+        Target ``(height, width)`` of the full-resolution channel.
+    """
+    channel = np.asarray(channel, dtype=np.float64)
+    if channel.ndim != 2:
+        raise ValueError(f"expected a 2-D channel, got shape {channel.shape}")
+    height, width = shape
+    upsampled = np.repeat(np.repeat(channel, 2, axis=0), 2, axis=1)
+    return upsampled[:height, :width]
+
+
+def _require_color_image(image: np.ndarray) -> np.ndarray:
+    image = np.asarray(image, dtype=np.float64)
+    if image.ndim != 3 or image.shape[-1] != 3:
+        raise ValueError(
+            f"expected an (H, W, 3) colour image, got shape {image.shape}"
+        )
+    return image

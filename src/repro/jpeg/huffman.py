@@ -1,0 +1,288 @@
+"""Huffman coding for the JPEG entropy coder.
+
+Provides the four standard Annex K Huffman tables (DC/AC x luma/chroma)
+and a constructor for optimized tables built from observed symbol
+frequencies, length-limited to 16 bits as the baseline JPEG format
+requires.  Tables are canonical: they are fully described by the T.81
+``BITS``/``HUFFVAL`` lists, which is also how their header cost is
+accounted.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+MAX_CODE_LENGTH = 16
+
+# Annex K Table K.3 — luminance DC coefficient differences.
+_DC_LUMA_BITS = [0, 1, 5, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0]
+_DC_LUMA_VALUES = list(range(12))
+
+# Annex K Table K.4 — chrominance DC coefficient differences.
+_DC_CHROMA_BITS = [0, 3, 1, 1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0]
+_DC_CHROMA_VALUES = list(range(12))
+
+# Annex K Table K.5 — luminance AC coefficients.
+_AC_LUMA_BITS = [0, 2, 1, 3, 3, 2, 4, 3, 5, 5, 4, 4, 0, 0, 1, 0x7D]
+_AC_LUMA_VALUES = [
+    0x01, 0x02, 0x03, 0x00, 0x04, 0x11, 0x05, 0x12,
+    0x21, 0x31, 0x41, 0x06, 0x13, 0x51, 0x61, 0x07,
+    0x22, 0x71, 0x14, 0x32, 0x81, 0x91, 0xA1, 0x08,
+    0x23, 0x42, 0xB1, 0xC1, 0x15, 0x52, 0xD1, 0xF0,
+    0x24, 0x33, 0x62, 0x72, 0x82, 0x09, 0x0A, 0x16,
+    0x17, 0x18, 0x19, 0x1A, 0x25, 0x26, 0x27, 0x28,
+    0x29, 0x2A, 0x34, 0x35, 0x36, 0x37, 0x38, 0x39,
+    0x3A, 0x43, 0x44, 0x45, 0x46, 0x47, 0x48, 0x49,
+    0x4A, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58, 0x59,
+    0x5A, 0x63, 0x64, 0x65, 0x66, 0x67, 0x68, 0x69,
+    0x6A, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78, 0x79,
+    0x7A, 0x83, 0x84, 0x85, 0x86, 0x87, 0x88, 0x89,
+    0x8A, 0x92, 0x93, 0x94, 0x95, 0x96, 0x97, 0x98,
+    0x99, 0x9A, 0xA2, 0xA3, 0xA4, 0xA5, 0xA6, 0xA7,
+    0xA8, 0xA9, 0xAA, 0xB2, 0xB3, 0xB4, 0xB5, 0xB6,
+    0xB7, 0xB8, 0xB9, 0xBA, 0xC2, 0xC3, 0xC4, 0xC5,
+    0xC6, 0xC7, 0xC8, 0xC9, 0xCA, 0xD2, 0xD3, 0xD4,
+    0xD5, 0xD6, 0xD7, 0xD8, 0xD9, 0xDA, 0xE1, 0xE2,
+    0xE3, 0xE4, 0xE5, 0xE6, 0xE7, 0xE8, 0xE9, 0xEA,
+    0xF1, 0xF2, 0xF3, 0xF4, 0xF5, 0xF6, 0xF7, 0xF8,
+    0xF9, 0xFA,
+]
+
+# Annex K Table K.6 — chrominance AC coefficients.
+_AC_CHROMA_BITS = [0, 2, 1, 2, 4, 4, 3, 4, 7, 5, 4, 4, 0, 1, 2, 0x77]
+_AC_CHROMA_VALUES = [
+    0x00, 0x01, 0x02, 0x03, 0x11, 0x04, 0x05, 0x21,
+    0x31, 0x06, 0x12, 0x41, 0x51, 0x07, 0x61, 0x71,
+    0x13, 0x22, 0x32, 0x81, 0x08, 0x14, 0x42, 0x91,
+    0xA1, 0xB1, 0xC1, 0x09, 0x23, 0x33, 0x52, 0xF0,
+    0x15, 0x62, 0x72, 0xD1, 0x0A, 0x16, 0x24, 0x34,
+    0xE1, 0x25, 0xF1, 0x17, 0x18, 0x19, 0x1A, 0x26,
+    0x27, 0x28, 0x29, 0x2A, 0x35, 0x36, 0x37, 0x38,
+    0x39, 0x3A, 0x43, 0x44, 0x45, 0x46, 0x47, 0x48,
+    0x49, 0x4A, 0x53, 0x54, 0x55, 0x56, 0x57, 0x58,
+    0x59, 0x5A, 0x63, 0x64, 0x65, 0x66, 0x67, 0x68,
+    0x69, 0x6A, 0x73, 0x74, 0x75, 0x76, 0x77, 0x78,
+    0x79, 0x7A, 0x82, 0x83, 0x84, 0x85, 0x86, 0x87,
+    0x88, 0x89, 0x8A, 0x92, 0x93, 0x94, 0x95, 0x96,
+    0x97, 0x98, 0x99, 0x9A, 0xA2, 0xA3, 0xA4, 0xA5,
+    0xA6, 0xA7, 0xA8, 0xA9, 0xAA, 0xB2, 0xB3, 0xB4,
+    0xB5, 0xB6, 0xB7, 0xB8, 0xB9, 0xBA, 0xC2, 0xC3,
+    0xC4, 0xC5, 0xC6, 0xC7, 0xC8, 0xC9, 0xCA, 0xD2,
+    0xD3, 0xD4, 0xD5, 0xD6, 0xD7, 0xD8, 0xD9, 0xDA,
+    0xE2, 0xE3, 0xE4, 0xE5, 0xE6, 0xE7, 0xE8, 0xE9,
+    0xEA, 0xF2, 0xF3, 0xF4, 0xF5, 0xF6, 0xF7, 0xF8,
+    0xF9, 0xFA,
+]
+
+
+@dataclass
+class HuffmanTable:
+    """A canonical Huffman table in the T.81 BITS/HUFFVAL representation.
+
+    Attributes
+    ----------
+    bits:
+        ``bits[k]`` is the number of codes of length ``k + 1`` (16 entries).
+    values:
+        Symbols ordered by increasing code length, then assignment order.
+    name:
+        Optional label for debugging and reports.
+    """
+
+    bits: "list[int]"
+    values: "list[int]"
+    name: str = "huffman"
+    _encode_map: dict = field(init=False, repr=False, compare=False)
+    _decode_map: dict = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        if len(self.bits) != MAX_CODE_LENGTH:
+            raise ValueError(
+                f"bits must have {MAX_CODE_LENGTH} entries, got {len(self.bits)}"
+            )
+        if sum(self.bits) != len(self.values):
+            raise ValueError(
+                "sum(bits) must equal the number of symbols "
+                f"({sum(self.bits)} != {len(self.values)})"
+            )
+        self._encode_map, self._decode_map = _build_canonical_codes(
+            self.bits, self.values
+        )
+
+    def encode(self, symbol: int) -> "tuple[int, int]":
+        """Return the ``(code, length)`` pair for ``symbol``."""
+        try:
+            return self._encode_map[symbol]
+        except KeyError as exc:
+            raise KeyError(
+                f"symbol {symbol:#x} not present in Huffman table '{self.name}'"
+            ) from exc
+
+    def code_length(self, symbol: int) -> int:
+        """Return the code length in bits for ``symbol``."""
+        return self.encode(symbol)[1]
+
+    def decode_symbol(self, reader) -> int:
+        """Consume bits from a :class:`~repro.jpeg.bitstream.BitReader`."""
+        code = 0
+        length = 0
+        while length < MAX_CODE_LENGTH:
+            code = (code << 1) | reader.read_bit()
+            length += 1
+            symbol = self._decode_map.get((code, length))
+            if symbol is not None:
+                return symbol
+        raise ValueError(
+            f"invalid Huffman code in table '{self.name}'"
+        )
+
+    def __contains__(self, symbol: int) -> bool:
+        return symbol in self._encode_map
+
+    def symbols(self) -> "list[int]":
+        """All symbols the table can encode."""
+        return list(self.values)
+
+    def header_cost_bytes(self) -> int:
+        """Size of the DHT segment payload describing this table.
+
+        One class/id byte + 16 BITS bytes + one byte per symbol, matching
+        the JPEG DHT marker segment layout.
+        """
+        return 1 + MAX_CODE_LENGTH + len(self.values)
+
+    @classmethod
+    def standard_dc_luminance(cls) -> "HuffmanTable":
+        """Annex K Table K.3."""
+        return cls(list(_DC_LUMA_BITS), list(_DC_LUMA_VALUES), "dc-luma")
+
+    @classmethod
+    def standard_dc_chrominance(cls) -> "HuffmanTable":
+        """Annex K Table K.4."""
+        return cls(list(_DC_CHROMA_BITS), list(_DC_CHROMA_VALUES), "dc-chroma")
+
+    @classmethod
+    def standard_ac_luminance(cls) -> "HuffmanTable":
+        """Annex K Table K.5."""
+        return cls(list(_AC_LUMA_BITS), list(_AC_LUMA_VALUES), "ac-luma")
+
+    @classmethod
+    def standard_ac_chrominance(cls) -> "HuffmanTable":
+        """Annex K Table K.6."""
+        return cls(list(_AC_CHROMA_BITS), list(_AC_CHROMA_VALUES), "ac-chroma")
+
+    @classmethod
+    def from_frequencies(
+        cls, frequencies: dict, name: str = "optimized"
+    ) -> "HuffmanTable":
+        """Build an optimized, 16-bit length-limited table from symbol counts.
+
+        Implements the classical Huffman construction followed by the
+        ``adjust_bits`` length-limiting procedure of T.81 Annex K.3, so the
+        result is always a legal baseline JPEG table.
+        """
+        frequencies = {
+            int(symbol): int(count)
+            for symbol, count in frequencies.items()
+            if count > 0
+        }
+        if not frequencies:
+            raise ValueError("cannot build a Huffman table with no symbols")
+        lengths = _huffman_code_lengths(frequencies)
+        lengths = _limit_code_lengths(lengths, MAX_CODE_LENGTH)
+        bits = [0] * MAX_CODE_LENGTH
+        ordered = sorted(lengths.items(), key=lambda item: (item[1], item[0]))
+        values = []
+        for symbol, length in ordered:
+            bits[length - 1] += 1
+            values.append(symbol)
+        return cls(bits, values, name)
+
+
+def _build_canonical_codes(bits: "list[int]", values: "list[int]") -> tuple:
+    """Assign canonical codes per T.81 Annex C (GENERATE_SIZE/CODE tables)."""
+    encode_map = {}
+    decode_map = {}
+    code = 0
+    index = 0
+    for length_minus_one, count in enumerate(bits):
+        length = length_minus_one + 1
+        for _ in range(count):
+            symbol = values[index]
+            if symbol in encode_map:
+                raise ValueError(f"duplicate symbol {symbol:#x} in Huffman table")
+            encode_map[symbol] = (code, length)
+            decode_map[(code, length)] = symbol
+            code += 1
+            index += 1
+        code <<= 1
+    return encode_map, decode_map
+
+
+def _huffman_code_lengths(frequencies: dict) -> dict:
+    """Return unrestricted Huffman code lengths for each symbol."""
+    if len(frequencies) == 1:
+        symbol = next(iter(frequencies))
+        return {symbol: 1}
+    heap = [
+        (count, counter, {symbol: 0})
+        for counter, (symbol, count) in enumerate(sorted(frequencies.items()))
+    ]
+    counter = len(heap)
+    heapq.heapify(heap)
+    while len(heap) > 1:
+        count_a, _, tree_a = heapq.heappop(heap)
+        count_b, _, tree_b = heapq.heappop(heap)
+        merged = {symbol: depth + 1 for symbol, depth in tree_a.items()}
+        merged.update(
+            {symbol: depth + 1 for symbol, depth in tree_b.items()}
+        )
+        heapq.heappush(heap, (count_a + count_b, counter, merged))
+        counter += 1
+    return heap[0][2]
+
+
+def _limit_code_lengths(lengths: dict, max_length: int) -> dict:
+    """Limit code lengths to ``max_length`` while keeping the Kraft sum valid.
+
+    Follows the ``adjust_bits`` procedure of T.81 Annex K.3 (also used by
+    libjpeg): operate on the histogram of code lengths, repeatedly moving a
+    pair of over-long codes up one level while demoting one shorter code,
+    which preserves the Kraft inequality; then reassign lengths to symbols
+    ordered by their original (optimal) depth.
+    """
+    lengths = dict(lengths)
+    deepest = max(lengths.values())
+    if deepest <= max_length:
+        return lengths
+    # Histogram of code lengths, index 1..deepest.
+    counts = [0] * (deepest + 1)
+    for length in lengths.values():
+        counts[length] += 1
+    for length in range(deepest, max_length, -1):
+        while counts[length] > 0:
+            shorter = length - 2
+            while shorter > 0 and counts[shorter] == 0:
+                shorter -= 1
+            if shorter <= 0:
+                raise ValueError("cannot length-limit Huffman code")
+            # Remove two codes at `length`: one becomes length-1, the other
+            # pairs with a split of a code at `shorter` into two at
+            # `shorter + 1`.
+            counts[length] -= 2
+            counts[length - 1] += 1
+            counts[shorter] -= 1
+            counts[shorter + 1] += 2
+    # Reassign: shortest lengths go to symbols that originally had the
+    # shortest (most frequent) codes.
+    pool = []
+    for length in range(1, max_length + 1):
+        pool.extend([length] * counts[length])
+    ordered_symbols = sorted(lengths.items(), key=lambda item: (item[1], item[0]))
+    if len(pool) != len(ordered_symbols):
+        raise ValueError("length limiting did not conserve the symbol count")
+    return {
+        symbol: new_length
+        for (symbol, _), new_length in zip(ordered_symbols, sorted(pool))
+    }

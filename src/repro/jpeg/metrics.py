@@ -1,0 +1,35 @@
+"""Image distortion metrics used in the evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def mse(reference: np.ndarray, distorted: np.ndarray) -> float:
+    """Mean squared error between two images of the same shape."""
+    reference = np.asarray(reference, dtype=np.float64)
+    distorted = np.asarray(distorted, dtype=np.float64)
+    if reference.shape != distorted.shape:
+        raise ValueError(
+            f"shape mismatch: {reference.shape} vs {distorted.shape}"
+        )
+    return float(np.mean((reference - distorted) ** 2))
+
+
+def psnr(
+    reference: np.ndarray, distorted: np.ndarray, peak: float = 255.0
+) -> float:
+    """Peak signal-to-noise ratio in dB (``inf`` for identical images)."""
+    error = mse(reference, distorted)
+    if error == 0.0:
+        return float("inf")
+    return float(10.0 * np.log10(peak * peak / error))
+
+
+def compression_ratio(original_bytes: int, compressed_bytes: int) -> float:
+    """Ratio of original to compressed size; larger is better."""
+    if compressed_bytes <= 0:
+        raise ValueError("compressed size must be positive")
+    if original_bytes < 0:
+        raise ValueError("original size must be non-negative")
+    return original_bytes / compressed_bytes

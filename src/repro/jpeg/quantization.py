@@ -1,0 +1,167 @@
+"""Quantization tables and scalar quantization of DCT coefficients.
+
+The 64-entry quantization table is the object DeepN-JPEG redesigns.  This
+module provides the standard ITU-T T.81 Annex K luminance and chrominance
+tables, the libjpeg quality-factor scaling rule, and the quantize /
+dequantize operations used by the codec.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.jpeg.dct import BLOCK_SIZE
+
+#: Annex K Table K.1 — luminance quantization values (HVS tuned).
+STANDARD_LUMINANCE_TABLE = np.array(
+    [
+        [16, 11, 10, 16, 24, 40, 51, 61],
+        [12, 12, 14, 19, 26, 58, 60, 55],
+        [14, 13, 16, 24, 40, 57, 69, 56],
+        [14, 17, 22, 29, 51, 87, 80, 62],
+        [18, 22, 37, 56, 68, 109, 103, 77],
+        [24, 35, 55, 64, 81, 104, 113, 92],
+        [49, 64, 78, 87, 103, 121, 120, 101],
+        [72, 92, 95, 98, 112, 100, 103, 99],
+    ],
+    dtype=np.float64,
+)
+
+#: Annex K Table K.2 — chrominance quantization values.
+STANDARD_CHROMINANCE_TABLE = np.array(
+    [
+        [17, 18, 24, 47, 99, 99, 99, 99],
+        [18, 21, 26, 66, 99, 99, 99, 99],
+        [24, 26, 56, 99, 99, 99, 99, 99],
+        [47, 66, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+        [99, 99, 99, 99, 99, 99, 99, 99],
+    ],
+    dtype=np.float64,
+)
+
+#: Maximum quantization step representable in a baseline JPEG DQT segment.
+MAX_QUANT_STEP = 255
+#: Minimum legal quantization step.
+MIN_QUANT_STEP = 1
+
+
+def scale_table_for_quality(
+    table: np.ndarray, quality: int
+) -> np.ndarray:
+    """Scale a base quantization table by the libjpeg quality factor rule.
+
+    ``quality`` follows the IJG convention: 50 leaves the table unchanged,
+    100 forces every step to 1 (lossless quantization), and values below
+    50 scale the steps up.  Steps are clipped to ``[1, 255]``.
+    """
+    if not 1 <= quality <= 100:
+        raise ValueError(f"quality must be in [1, 100], got {quality}")
+    table = _require_table_array(table)
+    if quality < 50:
+        scale = 5000.0 / quality
+    else:
+        scale = 200.0 - 2.0 * quality
+    scaled = np.floor((table * scale + 50.0) / 100.0)
+    return np.clip(scaled, MIN_QUANT_STEP, MAX_QUANT_STEP)
+
+
+@dataclass(frozen=True)
+class QuantizationTable:
+    """A 64-entry scalar quantization table for 8x8 DCT blocks.
+
+    Attributes
+    ----------
+    values:
+        Array of shape ``(8, 8)``; entry ``(i, j)`` is the quantization
+        step of frequency band ``(i, j)``.  Values are clipped to the
+        baseline JPEG range ``[1, 255]`` at construction.
+    name:
+        A human-readable label used in experiment reports.
+    """
+
+    values: np.ndarray
+    name: str = "custom"
+    _frozen_values: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        values = _require_table_array(self.values)
+        values = np.clip(np.round(values), MIN_QUANT_STEP, MAX_QUANT_STEP)
+        values.setflags(write=False)
+        object.__setattr__(self, "values", values)
+        object.__setattr__(self, "_frozen_values", values)
+
+    @classmethod
+    def standard_luminance(cls, quality: int = 50) -> "QuantizationTable":
+        """The Annex K luminance table scaled to ``quality``."""
+        return cls(
+            scale_table_for_quality(STANDARD_LUMINANCE_TABLE, quality),
+            name=f"jpeg-luma-q{quality}",
+        )
+
+    @classmethod
+    def standard_chrominance(cls, quality: int = 50) -> "QuantizationTable":
+        """The Annex K chrominance table scaled to ``quality``."""
+        return cls(
+            scale_table_for_quality(STANDARD_CHROMINANCE_TABLE, quality),
+            name=f"jpeg-chroma-q{quality}",
+        )
+
+    @classmethod
+    def flat(cls, step: float, name: str = "") -> "QuantizationTable":
+        """A table with the same step everywhere (the SAME-Q baseline)."""
+        values = np.full((BLOCK_SIZE, BLOCK_SIZE), float(step))
+        return cls(values, name=name or f"flat-q{step:g}")
+
+    def scaled_by_quality(self, quality: int) -> "QuantizationTable":
+        """Return a copy scaled by the libjpeg quality-factor rule."""
+        return QuantizationTable(
+            scale_table_for_quality(self.values, quality),
+            name=f"{self.name}-q{quality}",
+        )
+
+    def quantize(self, coefficients: np.ndarray) -> np.ndarray:
+        """Quantize DCT coefficients: ``round(c / q)`` (many-to-one, lossy)."""
+        coefficients = np.asarray(coefficients, dtype=np.float64)
+        _require_block_shape(coefficients)
+        return np.round(coefficients / self.values).astype(np.int32)
+
+    def dequantize(self, quantized: np.ndarray) -> np.ndarray:
+        """Reconstruct coefficients from quantized integers: ``c' * q``."""
+        quantized = np.asarray(quantized, dtype=np.float64)
+        _require_block_shape(quantized)
+        return quantized * self.values
+
+    def mean_step(self) -> float:
+        """Average quantization step, a coarse proxy for aggressiveness."""
+        return float(self.values.mean())
+
+    def as_zigzag(self) -> np.ndarray:
+        """Return the 64 steps in zig-zag order (DQT segment layout)."""
+        from repro.jpeg.zigzag import zigzag
+
+        return zigzag(self.values).astype(np.int32)
+
+
+def _require_table_array(table: np.ndarray) -> np.ndarray:
+    table = np.array(table, dtype=np.float64)
+    if table.shape != (BLOCK_SIZE, BLOCK_SIZE):
+        raise ValueError(
+            f"quantization table must be 8x8, got shape {table.shape}"
+        )
+    if not np.all(np.isfinite(table)):
+        raise ValueError("quantization table contains non-finite values")
+    if np.any(table <= 0):
+        raise ValueError("quantization steps must be strictly positive")
+    return table
+
+
+def _require_block_shape(array: np.ndarray) -> None:
+    if array.shape[-2:] != (BLOCK_SIZE, BLOCK_SIZE):
+        raise ValueError(
+            f"expected trailing 8x8 dimensions, got shape {array.shape}"
+        )

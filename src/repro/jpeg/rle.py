@@ -1,0 +1,135 @@
+"""DC differential coding and AC run-length coding of quantized blocks.
+
+Quantized blocks (already in zig-zag order) are translated into the symbol
+stream of baseline JPEG: the DC coefficient of each block is coded as the
+difference from the previous block's DC (DPCM) using a size category plus
+magnitude bits, and the 63 AC coefficients are coded as
+``(zero-run, size)`` symbols with ZRL (16-zero run) and EOB (end of block)
+escapes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.jpeg.bitstream import encode_magnitude, magnitude_category
+
+#: End-of-block AC symbol.
+EOB_SYMBOL = 0x00
+#: Zero-run-length AC symbol (a run of 16 zeros).
+ZRL_SYMBOL = 0xF0
+#: Longest zero run expressible in a single (run, size) symbol.
+MAX_ZERO_RUN = 15
+
+
+@dataclass(frozen=True)
+class AcToken:
+    """One AC entropy-coding token.
+
+    ``symbol`` packs the zero run in the high nibble and the magnitude
+    category in the low nibble.  ``amplitude_bits``/``amplitude_length``
+    are the raw magnitude bits appended after the Huffman code for the
+    symbol (zero-length for EOB and ZRL).
+    """
+
+    symbol: int
+    amplitude_bits: int
+    amplitude_length: int
+
+
+@dataclass(frozen=True)
+class DcToken:
+    """One DC entropy-coding token (size category plus magnitude bits)."""
+
+    symbol: int
+    amplitude_bits: int
+    amplitude_length: int
+
+
+def encode_dc(dc_value: int, previous_dc: int) -> DcToken:
+    """DPCM-encode a block's DC coefficient against the previous block's."""
+    diff = int(dc_value) - int(previous_dc)
+    category = magnitude_category(diff)
+    bits, length = encode_magnitude(diff)
+    return DcToken(symbol=category, amplitude_bits=bits, amplitude_length=length)
+
+
+def encode_ac(ac_coefficients: np.ndarray) -> "list[AcToken]":
+    """Run-length encode the 63 zig-zag-ordered AC coefficients of a block."""
+    ac_coefficients = np.asarray(ac_coefficients)
+    if ac_coefficients.shape != (63,):
+        raise ValueError(
+            f"expected 63 AC coefficients, got shape {ac_coefficients.shape}"
+        )
+    tokens = []
+    run = 0
+    for value in ac_coefficients:
+        value = int(value)
+        if value == 0:
+            run += 1
+            continue
+        while run > MAX_ZERO_RUN:
+            tokens.append(AcToken(ZRL_SYMBOL, 0, 0))
+            run -= MAX_ZERO_RUN + 1
+        category = magnitude_category(value)
+        bits, length = encode_magnitude(value)
+        tokens.append(
+            AcToken(symbol=(run << 4) | category, amplitude_bits=bits,
+                    amplitude_length=length)
+        )
+        run = 0
+    if run > 0:
+        tokens.append(AcToken(EOB_SYMBOL, 0, 0))
+    return tokens
+
+
+def decode_ac(tokens: "list[AcToken]") -> np.ndarray:
+    """Invert :func:`encode_ac`, returning the 63 AC coefficients."""
+    from repro.jpeg.bitstream import decode_magnitude
+
+    coefficients = np.zeros(63, dtype=np.int32)
+    position = 0
+    for token in tokens:
+        if token.symbol == EOB_SYMBOL:
+            break
+        if token.symbol == ZRL_SYMBOL:
+            position += MAX_ZERO_RUN + 1
+            continue
+        run = token.symbol >> 4
+        category = token.symbol & 0x0F
+        position += run
+        if position >= 63:
+            raise ValueError("AC token stream overruns the block")
+        coefficients[position] = decode_magnitude(
+            token.amplitude_bits, category
+        )
+        position += 1
+    return coefficients
+
+
+def block_symbol_histograms(
+    zigzag_blocks: np.ndarray,
+) -> "tuple[dict, dict]":
+    """Count DC and AC symbols over a stack of zig-zag quantized blocks.
+
+    Used to build optimized Huffman tables.  ``zigzag_blocks`` has shape
+    ``(N, 64)`` and must be ordered as they will be entropy coded, because
+    DC symbols depend on the DPCM predecessor.
+    """
+    zigzag_blocks = np.asarray(zigzag_blocks)
+    if zigzag_blocks.ndim != 2 or zigzag_blocks.shape[1] != 64:
+        raise ValueError(
+            f"expected blocks of shape (N, 64), got {zigzag_blocks.shape}"
+        )
+    dc_counts: dict = {}
+    ac_counts: dict = {}
+    previous_dc = 0
+    for block in zigzag_blocks:
+        dc_token = encode_dc(int(block[0]), previous_dc)
+        previous_dc = int(block[0])
+        dc_counts[dc_token.symbol] = dc_counts.get(dc_token.symbol, 0) + 1
+        for token in encode_ac(block[1:]):
+            ac_counts[token.symbol] = ac_counts.get(token.symbol, 0) + 1
+    return dc_counts, ac_counts

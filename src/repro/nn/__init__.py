@@ -1,0 +1,61 @@
+"""A compact, from-scratch neural-network framework built on numpy.
+
+This package is the training/inference substrate for the DeepN-JPEG
+evaluation.  It provides the familiar building blocks of convolutional
+classifiers — convolution (im2col based), pooling, batch normalisation,
+dense layers, residual and inception blocks — plus losses, optimizers and
+a small training loop, so the accuracy-vs-compression experiments of the
+paper can run end-to-end on CPU without any deep-learning dependency.
+
+Quick use::
+
+    from repro.nn import models, Trainer, SGD
+
+    model = models.alexnet_mini(num_classes=8, input_shape=(1, 32, 32))
+    trainer = Trainer(model, optimizer=SGD(learning_rate=0.05, momentum=0.9))
+    history = trainer.fit(train_images, train_labels, epochs=5)
+    accuracy = trainer.evaluate(test_images, test_labels)
+"""
+
+from repro.nn import models
+from repro.nn.layers import (
+    AvgPool2D,
+    BatchNorm2D,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    GlobalAvgPool2D,
+    InceptionBlock,
+    Layer,
+    MaxPool2D,
+    ReLU,
+    ResidualBlock,
+    Sequential,
+)
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.trainer import Trainer, TrainingHistory
+
+__all__ = [
+    "Adam",
+    "AvgPool2D",
+    "BatchNorm2D",
+    "Conv2D",
+    "Dense",
+    "Dropout",
+    "Flatten",
+    "GlobalAvgPool2D",
+    "InceptionBlock",
+    "Layer",
+    "MaxPool2D",
+    "Optimizer",
+    "ReLU",
+    "ResidualBlock",
+    "SGD",
+    "Sequential",
+    "SoftmaxCrossEntropy",
+    "Trainer",
+    "TrainingHistory",
+    "models",
+]

@@ -1,0 +1,61 @@
+"""Activation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.base import Layer
+
+
+class ReLU(Layer):
+    """Rectified linear unit, ``max(x, 0)``."""
+
+    def __init__(self) -> None:
+        self._mask = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        self._mask = inputs > 0
+        return inputs * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.asarray(grad_output, dtype=np.float64) * self._mask
+
+
+class LeakyReLU(Layer):
+    """Leaky rectified linear unit with configurable negative slope."""
+
+    def __init__(self, negative_slope: float = 0.01) -> None:
+        if negative_slope < 0:
+            raise ValueError("negative_slope must be non-negative")
+        self.negative_slope = float(negative_slope)
+        self._mask = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        self._mask = inputs > 0
+        return np.where(self._mask, inputs, self.negative_slope * inputs)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        return np.where(self._mask, grad_output, self.negative_slope * grad_output)
+
+
+class Tanh(Layer):
+    """Hyperbolic tangent activation."""
+
+    def __init__(self) -> None:
+        self._output = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        self._output = np.tanh(np.asarray(inputs, dtype=np.float64))
+        return self._output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise RuntimeError("backward called before forward")
+        return np.asarray(grad_output, dtype=np.float64) * (1.0 - self._output ** 2)

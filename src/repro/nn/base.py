@@ -1,0 +1,120 @@
+"""Core abstractions of the neural-network framework.
+
+A :class:`Parameter` couples a value array with its gradient.  A
+:class:`Layer` is anything with a ``forward``/``backward`` pair and a list
+of parameters.  :class:`Sequential` chains layers, and is the container
+all models in :mod:`repro.nn.models` are built from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Parameter:
+    """A trainable tensor and its accumulated gradient."""
+
+    def __init__(self, value: np.ndarray, name: str = "param") -> None:
+        self.value = np.asarray(value, dtype=np.float64)
+        self.grad = np.zeros_like(self.value)
+        self.name = name
+
+    def zero_grad(self) -> None:
+        """Reset the accumulated gradient to zero."""
+        self.grad[...] = 0.0
+
+    @property
+    def shape(self) -> tuple:
+        return self.value.shape
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Parameter(name={self.name!r}, shape={self.value.shape})"
+
+
+class Layer:
+    """Base class for all layers.
+
+    Subclasses implement :meth:`forward` and :meth:`backward`; layers with
+    trainable state override :meth:`parameters`.
+    """
+
+    #: Whether the layer behaves differently in training vs inference
+    #: (dropout, batch norm); purely informational.
+    stochastic = False
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        """Compute the layer output for ``inputs``."""
+        raise NotImplementedError
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Backpropagate ``grad_output`` and accumulate parameter gradients."""
+        raise NotImplementedError
+
+    def parameters(self) -> "list[Parameter]":
+        """Trainable parameters of this layer (possibly empty)."""
+        return []
+
+    def zero_grad(self) -> None:
+        """Zero the gradients of all parameters."""
+        for parameter in self.parameters():
+            parameter.zero_grad()
+
+    def __call__(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        return self.forward(inputs, training=training)
+
+    def parameter_count(self) -> int:
+        """Total number of trainable scalars."""
+        return int(sum(p.value.size for p in self.parameters()))
+
+
+class Sequential(Layer):
+    """A layer that applies its children in order."""
+
+    def __init__(self, layers: "list[Layer]" = None, name: str = "sequential") -> None:
+        self.layers = list(layers) if layers is not None else []
+        self.name = name
+
+    def add(self, layer: Layer) -> "Sequential":
+        """Append a layer and return ``self`` for chaining."""
+        self.layers.append(layer)
+        return self
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        outputs = inputs
+        for layer in self.layers:
+            outputs = layer.forward(outputs, training=training)
+        return outputs
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad = grad_output
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def parameters(self) -> "list[Parameter]":
+        params = []
+        for layer in self.layers:
+            params.extend(layer.parameters())
+        return params
+
+    def predict_proba(self, inputs: np.ndarray, batch_size: int = 64) -> np.ndarray:
+        """Class probabilities for a batch of inputs (inference mode)."""
+        from repro.nn.losses import softmax
+
+        inputs = np.asarray(inputs, dtype=np.float64)
+        outputs = []
+        for start in range(0, inputs.shape[0], batch_size):
+            logits = self.forward(inputs[start:start + batch_size], training=False)
+            outputs.append(softmax(logits))
+        return np.concatenate(outputs, axis=0)
+
+    def predict(self, inputs: np.ndarray, batch_size: int = 64) -> np.ndarray:
+        """Predicted class indices for a batch of inputs."""
+        return np.argmax(self.predict_proba(inputs, batch_size=batch_size), axis=1)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(type(layer).__name__ for layer in self.layers)
+        return f"Sequential(name={self.name!r}, layers=[{inner}])"

@@ -1,0 +1,104 @@
+"""2-D convolution layer implemented with im2col."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.base import Layer, Parameter
+from repro.nn.im2col import col2im, conv_output_size, im2col
+from repro.nn.init import he_normal
+
+
+class Conv2D(Layer):
+    """Convolution over NCHW inputs.
+
+    Parameters
+    ----------
+    in_channels, out_channels:
+        Channel counts of input and output feature maps.
+    kernel_size:
+        Side of the square kernel.
+    stride, padding:
+        Convolution stride and symmetric zero padding.
+    rng:
+        Source of randomness for weight initialisation; pass a seeded
+        generator for reproducible models.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        rng: np.random.Generator = None,
+        name: str = "conv",
+    ) -> None:
+        if in_channels <= 0 or out_channels <= 0 or kernel_size <= 0:
+            raise ValueError("channel counts and kernel size must be positive")
+        if stride <= 0 or padding < 0:
+            raise ValueError("stride must be positive and padding non-negative")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(
+            he_normal(
+                (out_channels, in_channels, kernel_size, kernel_size),
+                fan_in,
+                rng,
+            ),
+            name=f"{name}.weight",
+        )
+        self.bias = Parameter(np.zeros(out_channels), name=f"{name}.bias")
+        self._cache = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 4 or inputs.shape[1] != self.in_channels:
+            raise ValueError(
+                f"expected (N, {self.in_channels}, H, W) input, got {inputs.shape}"
+            )
+        batch, _, height, width = inputs.shape
+        out_h = conv_output_size(height, self.kernel_size, self.stride, self.padding)
+        out_w = conv_output_size(width, self.kernel_size, self.stride, self.padding)
+        columns = im2col(
+            inputs, self.kernel_size, self.kernel_size, self.stride, self.padding
+        )
+        kernel_matrix = self.weight.value.reshape(self.out_channels, -1)
+        outputs = columns @ kernel_matrix.T + self.bias.value
+        outputs = outputs.reshape(batch, out_h, out_w, self.out_channels)
+        outputs = outputs.transpose(0, 3, 1, 2)
+        self._cache = (inputs.shape, columns)
+        return outputs
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        input_shape, columns = self._cache
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        batch, _, out_h, out_w = grad_output.shape
+        grad_matrix = grad_output.transpose(0, 2, 3, 1).reshape(
+            batch * out_h * out_w, self.out_channels
+        )
+        kernel_matrix = self.weight.value.reshape(self.out_channels, -1)
+        self.weight.grad += (grad_matrix.T @ columns).reshape(
+            self.weight.value.shape
+        )
+        self.bias.grad += grad_matrix.sum(axis=0)
+        grad_columns = grad_matrix @ kernel_matrix
+        return col2im(
+            grad_columns,
+            input_shape,
+            self.kernel_size,
+            self.kernel_size,
+            self.stride,
+            self.padding,
+        )
+
+    def parameters(self) -> "list[Parameter]":
+        return [self.weight, self.bias]

@@ -1,0 +1,68 @@
+"""Fully-connected layer and flattening."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.base import Layer, Parameter
+from repro.nn.init import he_normal
+
+
+class Dense(Layer):
+    """Affine transform ``y = x W + b`` over flattened feature vectors."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        rng: np.random.Generator = None,
+        name: str = "dense",
+    ) -> None:
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError("feature counts must be positive")
+        rng = rng if rng is not None else np.random.default_rng()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(
+            he_normal((in_features, out_features), in_features, rng),
+            name=f"{name}.weight",
+        )
+        self.bias = Parameter(np.zeros(out_features), name=f"{name}.bias")
+        self._inputs = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 2 or inputs.shape[1] != self.in_features:
+            raise ValueError(
+                f"expected (N, {self.in_features}) input, got {inputs.shape}"
+            )
+        self._inputs = inputs
+        return inputs @ self.weight.value + self.bias.value
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._inputs is None:
+            raise RuntimeError("backward called before forward")
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        self.weight.grad += self._inputs.T @ grad_output
+        self.bias.grad += grad_output.sum(axis=0)
+        return grad_output @ self.weight.value.T
+
+    def parameters(self) -> "list[Parameter]":
+        return [self.weight, self.bias]
+
+
+class Flatten(Layer):
+    """Flatten NCHW feature maps into (N, C*H*W) vectors."""
+
+    def __init__(self) -> None:
+        self._input_shape = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        self._input_shape = inputs.shape
+        return inputs.reshape(inputs.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        return np.asarray(grad_output, dtype=np.float64).reshape(self._input_shape)

@@ -1,0 +1,90 @@
+"""im2col / col2im transforms used by the convolution and pooling layers.
+
+Convolution is implemented as a matrix multiply over patches extracted by
+``im2col``; the backward pass scatters gradients back with ``col2im``.
+Layout convention throughout the framework is NCHW.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Spatial output size of a convolution along one dimension."""
+    out = (size + 2 * pad - kernel) // stride + 1
+    if out <= 0:
+        raise ValueError(
+            f"invalid convolution geometry: size={size} kernel={kernel} "
+            f"stride={stride} pad={pad}"
+        )
+    return out
+
+
+def im2col(
+    images: np.ndarray, kernel_h: int, kernel_w: int, stride: int, pad: int
+) -> np.ndarray:
+    """Extract sliding patches from a batch of NCHW images.
+
+    Returns an array of shape ``(N * out_h * out_w, C * kernel_h * kernel_w)``
+    where each row is one receptive field.
+    """
+    images = np.asarray(images, dtype=np.float64)
+    if images.ndim != 4:
+        raise ValueError(f"expected NCHW input, got shape {images.shape}")
+    batch, channels, height, width = images.shape
+    out_h = conv_output_size(height, kernel_h, stride, pad)
+    out_w = conv_output_size(width, kernel_w, stride, pad)
+
+    padded = np.pad(
+        images, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant"
+    )
+    columns = np.zeros(
+        (batch, channels, kernel_h, kernel_w, out_h, out_w), dtype=np.float64
+    )
+    for row in range(kernel_h):
+        row_end = row + stride * out_h
+        for col in range(kernel_w):
+            col_end = col + stride * out_w
+            columns[:, :, row, col, :, :] = padded[
+                :, :, row:row_end:stride, col:col_end:stride
+            ]
+    return columns.transpose(0, 4, 5, 1, 2, 3).reshape(
+        batch * out_h * out_w, -1
+    )
+
+
+def col2im(
+    columns: np.ndarray,
+    input_shape: tuple,
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Scatter-add patch columns back into an NCHW image batch.
+
+    Inverse (in the adjoint sense) of :func:`im2col`: overlapping patch
+    positions accumulate.
+    """
+    columns = np.asarray(columns, dtype=np.float64)
+    batch, channels, height, width = input_shape
+    out_h = conv_output_size(height, kernel_h, stride, pad)
+    out_w = conv_output_size(width, kernel_w, stride, pad)
+
+    reshaped = columns.reshape(
+        batch, out_h, out_w, channels, kernel_h, kernel_w
+    ).transpose(0, 3, 4, 5, 1, 2)
+    padded = np.zeros(
+        (batch, channels, height + 2 * pad, width + 2 * pad), dtype=np.float64
+    )
+    for row in range(kernel_h):
+        row_end = row + stride * out_h
+        for col in range(kernel_w):
+            col_end = col + stride * out_w
+            padded[:, :, row:row_end:stride, col:col_end:stride] += reshaped[
+                :, :, row, col, :, :
+            ]
+    if pad == 0:
+        return padded
+    return padded[:, :, pad:pad + height, pad:pad + width]

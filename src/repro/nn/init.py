@@ -1,0 +1,25 @@
+"""Weight initialisation schemes."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def he_normal(
+    shape: tuple, fan_in: int, rng: np.random.Generator
+) -> np.ndarray:
+    """He/Kaiming normal initialisation, suited to ReLU networks."""
+    if fan_in <= 0:
+        raise ValueError("fan_in must be positive")
+    scale = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, scale, size=shape)
+
+
+def xavier_uniform(
+    shape: tuple, fan_in: int, fan_out: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError("fan_in and fan_out must be positive")
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)

@@ -1,0 +1,50 @@
+"""Loss functions."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    """Row-wise softmax with the usual max-subtraction for stability."""
+    logits = np.asarray(logits, dtype=np.float64)
+    shifted = logits - logits.max(axis=-1, keepdims=True)
+    exponentials = np.exp(shifted)
+    return exponentials / exponentials.sum(axis=-1, keepdims=True)
+
+
+class SoftmaxCrossEntropy:
+    """Combined softmax + cross-entropy loss over integer class labels."""
+
+    def __init__(self, epsilon: float = 1e-12) -> None:
+        self.epsilon = float(epsilon)
+        self._cache = None
+
+    def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        """Mean cross-entropy of ``logits`` (N, C) against labels (N,)."""
+        logits = np.asarray(logits, dtype=np.float64)
+        labels = np.asarray(labels, dtype=np.intp)
+        if logits.ndim != 2:
+            raise ValueError(f"expected (N, C) logits, got shape {logits.shape}")
+        if labels.shape != (logits.shape[0],):
+            raise ValueError(
+                f"labels shape {labels.shape} does not match logits {logits.shape}"
+            )
+        if labels.min() < 0 or labels.max() >= logits.shape[1]:
+            raise ValueError("labels out of range for the given logits")
+        probabilities = softmax(logits)
+        self._cache = (probabilities, labels)
+        picked = probabilities[np.arange(labels.shape[0]), labels]
+        return float(-np.mean(np.log(picked + self.epsilon)))
+
+    def backward(self) -> np.ndarray:
+        """Gradient of the mean loss with respect to the logits."""
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        probabilities, labels = self._cache
+        grad = probabilities.copy()
+        grad[np.arange(labels.shape[0]), labels] -= 1.0
+        return grad / labels.shape[0]
+
+    def __call__(self, logits: np.ndarray, labels: np.ndarray) -> float:
+        return self.forward(logits, labels)

@@ -1,0 +1,95 @@
+"""Batch normalisation for NCHW feature maps."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.base import Layer, Parameter
+
+
+class BatchNorm2D(Layer):
+    """Per-channel batch normalisation (Ioffe & Szegedy, 2015).
+
+    During training, activations are normalised with batch statistics and
+    running estimates are updated with exponential moving averages; during
+    inference the running estimates are used.
+    """
+
+    stochastic = True
+
+    def __init__(
+        self,
+        num_channels: int,
+        momentum: float = 0.9,
+        epsilon: float = 1e-5,
+        name: str = "batchnorm",
+    ) -> None:
+        if num_channels <= 0:
+            raise ValueError("num_channels must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.num_channels = num_channels
+        self.momentum = float(momentum)
+        self.epsilon = float(epsilon)
+        self.gamma = Parameter(np.ones(num_channels), name=f"{name}.gamma")
+        self.beta = Parameter(np.zeros(num_channels), name=f"{name}.beta")
+        self.running_mean = np.zeros(num_channels)
+        self.running_var = np.ones(num_channels)
+        self._cache = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 4 or inputs.shape[1] != self.num_channels:
+            raise ValueError(
+                f"expected (N, {self.num_channels}, H, W) input, got {inputs.shape}"
+            )
+        if training:
+            mean = inputs.mean(axis=(0, 2, 3))
+            var = inputs.var(axis=(0, 2, 3))
+            self.running_mean = (
+                self.momentum * self.running_mean + (1.0 - self.momentum) * mean
+            )
+            self.running_var = (
+                self.momentum * self.running_var + (1.0 - self.momentum) * var
+            )
+        else:
+            mean = self.running_mean
+            var = self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.epsilon)
+        normalized = (inputs - mean[None, :, None, None]) * inv_std[None, :, None, None]
+        self._cache = (normalized, inv_std, inputs.shape, bool(training))
+        return (
+            self.gamma.value[None, :, None, None] * normalized
+            + self.beta.value[None, :, None, None]
+        )
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        normalized, inv_std, input_shape, was_training = self._cache
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        batch, _, height, width = input_shape
+        count = batch * height * width
+
+        self.gamma.grad += (grad_output * normalized).sum(axis=(0, 2, 3))
+        self.beta.grad += grad_output.sum(axis=(0, 2, 3))
+
+        grad_normalized = grad_output * self.gamma.value[None, :, None, None]
+        if not was_training:
+            # In inference mode the normalisation statistics are constants,
+            # so the input gradient is a simple rescaling (used by the
+            # saliency analysis of Eq. 2).
+            return grad_normalized * inv_std[None, :, None, None]
+        sum_grad = grad_normalized.sum(axis=(0, 2, 3), keepdims=True)
+        sum_grad_normalized = (grad_normalized * normalized).sum(
+            axis=(0, 2, 3), keepdims=True
+        )
+        grad_input = (
+            grad_normalized
+            - sum_grad / count
+            - normalized * sum_grad_normalized / count
+        ) * inv_std[None, :, None, None]
+        return grad_input
+
+    def parameters(self) -> "list[Parameter]":
+        return [self.gamma, self.beta]

@@ -1,0 +1,100 @@
+"""Gradient-descent optimizers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.base import Parameter
+
+
+class Optimizer:
+    """Base optimizer: holds hyper-parameters and per-parameter state."""
+
+    def __init__(self, learning_rate: float, weight_decay: float = 0.0) -> None:
+        if learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        self.learning_rate = float(learning_rate)
+        self.weight_decay = float(weight_decay)
+
+    def step(self, parameters: "list[Parameter]") -> None:
+        """Apply one update to every parameter from its accumulated gradient."""
+        for parameter in parameters:
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.value
+            self._update(parameter, grad)
+
+    def _update(self, parameter: Parameter, grad: np.ndarray) -> None:
+        raise NotImplementedError
+
+    def zero_grad(self, parameters: "list[Parameter]") -> None:
+        """Zero the gradient buffers of ``parameters``."""
+        for parameter in parameters:
+            parameter.zero_grad()
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.01,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(learning_rate, weight_decay)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = float(momentum)
+        self._velocity: dict = {}
+
+    def _update(self, parameter: Parameter, grad: np.ndarray) -> None:
+        if self.momentum:
+            velocity = self._velocity.get(id(parameter))
+            if velocity is None:
+                velocity = np.zeros_like(parameter.value)
+            velocity = self.momentum * velocity - self.learning_rate * grad
+            self._velocity[id(parameter)] = velocity
+            parameter.value += velocity
+        else:
+            parameter.value -= self.learning_rate * grad
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2015)."""
+
+    def __init__(
+        self,
+        learning_rate: float = 0.001,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        epsilon: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(learning_rate, weight_decay)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("beta1 and beta2 must be in [0, 1)")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.epsilon = float(epsilon)
+        self._state: dict = {}
+
+    def _update(self, parameter: Parameter, grad: np.ndarray) -> None:
+        state = self._state.get(id(parameter))
+        if state is None:
+            state = {
+                "step": 0,
+                "m": np.zeros_like(parameter.value),
+                "v": np.zeros_like(parameter.value),
+            }
+            self._state[id(parameter)] = state
+        state["step"] += 1
+        state["m"] = self.beta1 * state["m"] + (1.0 - self.beta1) * grad
+        state["v"] = self.beta2 * state["v"] + (1.0 - self.beta2) * grad * grad
+        m_hat = state["m"] / (1.0 - self.beta1 ** state["step"])
+        v_hat = state["v"] / (1.0 - self.beta2 ** state["step"])
+        parameter.value -= (
+            self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+        )

@@ -1,0 +1,135 @@
+"""Pooling layers (max, average, global average)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.base import Layer
+from repro.nn.im2col import col2im, conv_output_size, im2col
+
+
+class _Pool2D(Layer):
+    """Shared geometry handling for spatial pooling layers."""
+
+    def __init__(self, pool_size: int, stride: int = None) -> None:
+        if pool_size <= 0:
+            raise ValueError("pool_size must be positive")
+        self.pool_size = int(pool_size)
+        self.stride = int(stride) if stride is not None else int(pool_size)
+        if self.stride <= 0:
+            raise ValueError("stride must be positive")
+        self._cache = None
+
+    def _columns(self, inputs: np.ndarray) -> tuple:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 4:
+            raise ValueError(f"expected NCHW input, got shape {inputs.shape}")
+        batch, channels, height, width = inputs.shape
+        out_h = conv_output_size(height, self.pool_size, self.stride, 0)
+        out_w = conv_output_size(width, self.pool_size, self.stride, 0)
+        columns = im2col(inputs, self.pool_size, self.pool_size, self.stride, 0)
+        # im2col rows are channel-major, so a plain reshape yields one row per
+        # (sample, output pixel, channel) with pool_size^2 entries.
+        columns = columns.reshape(-1, self.pool_size * self.pool_size)
+        return inputs, columns, (batch, channels, out_h, out_w)
+
+
+class MaxPool2D(_Pool2D):
+    """Max pooling over square windows."""
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs, columns, (batch, channels, out_h, out_w) = self._columns(inputs)
+        argmax = columns.argmax(axis=1)
+        outputs = columns[np.arange(columns.shape[0]), argmax]
+        self._cache = (inputs.shape, argmax, (batch, channels, out_h, out_w))
+        return _rows_to_nchw(outputs, batch, channels, out_h, out_w)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        input_shape, argmax, (batch, channels, out_h, out_w) = self._cache
+        grad_rows = _nchw_to_rows(np.asarray(grad_output, dtype=np.float64))
+        grad_columns = np.zeros(
+            (grad_rows.shape[0], self.pool_size * self.pool_size), dtype=np.float64
+        )
+        grad_columns[np.arange(grad_rows.shape[0]), argmax] = grad_rows
+        return _columns_to_input(
+            grad_columns, input_shape, batch, channels, out_h, out_w,
+            self.pool_size, self.stride,
+        )
+
+
+class AvgPool2D(_Pool2D):
+    """Average pooling over square windows."""
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs, columns, (batch, channels, out_h, out_w) = self._columns(inputs)
+        outputs = columns.mean(axis=1)
+        self._cache = (inputs.shape, (batch, channels, out_h, out_w))
+        return _rows_to_nchw(outputs, batch, channels, out_h, out_w)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        input_shape, (batch, channels, out_h, out_w) = self._cache
+        grad_rows = _nchw_to_rows(np.asarray(grad_output, dtype=np.float64))
+        window = self.pool_size * self.pool_size
+        grad_columns = np.repeat(grad_rows[:, None] / window, window, axis=1)
+        return _columns_to_input(
+            grad_columns, input_shape, batch, channels, out_h, out_w,
+            self.pool_size, self.stride,
+        )
+
+
+class GlobalAvgPool2D(Layer):
+    """Average every feature map down to a single value, yielding (N, C)."""
+
+    def __init__(self) -> None:
+        self._input_shape = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if inputs.ndim != 4:
+            raise ValueError(f"expected NCHW input, got shape {inputs.shape}")
+        self._input_shape = inputs.shape
+        return inputs.mean(axis=(2, 3))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        batch, channels, height, width = self._input_shape
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        grad = grad_output[:, :, None, None] / float(height * width)
+        return np.broadcast_to(grad, self._input_shape).copy()
+
+
+def _rows_to_nchw(
+    rows: np.ndarray, batch: int, channels: int, out_h: int, out_w: int
+) -> np.ndarray:
+    """Rows ordered (sample, pixel, channel) -> NCHW tensor."""
+    return rows.reshape(batch, out_h, out_w, channels).transpose(0, 3, 1, 2)
+
+
+def _nchw_to_rows(tensor: np.ndarray) -> np.ndarray:
+    """NCHW tensor -> rows ordered (sample, pixel, channel)."""
+    return tensor.transpose(0, 2, 3, 1).reshape(-1)
+
+
+def _columns_to_input(
+    grad_columns: np.ndarray,
+    input_shape: tuple,
+    batch: int,
+    channels: int,
+    out_h: int,
+    out_w: int,
+    pool_size: int,
+    stride: int,
+) -> np.ndarray:
+    """Scatter per-window gradients back to the input tensor."""
+    window = pool_size * pool_size
+    # Restore the im2col row layout (N*out_h*out_w, C*pool*pool); the rows are
+    # already channel-major, so a plain reshape suffices.
+    grad_columns = grad_columns.reshape(
+        batch * out_h * out_w, channels * window
+    )
+    return col2im(grad_columns, input_shape, pool_size, pool_size, stride, 0)

@@ -1,0 +1,35 @@
+"""Stochastic regularisation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.base import Layer
+
+
+class Dropout(Layer):
+    """Inverted dropout: active only when ``training=True``."""
+
+    stochastic = True
+
+    def __init__(self, rate: float = 0.5, rng: np.random.Generator = None) -> None:
+        if not 0.0 <= rate < 1.0:
+            raise ValueError("dropout rate must be in [0, 1)")
+        self.rate = float(rate)
+        self._rng = rng if rng is not None else np.random.default_rng()
+        self._mask = None
+
+    def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        inputs = np.asarray(inputs, dtype=np.float64)
+        if not training or self.rate == 0.0:
+            self._mask = None
+            return inputs
+        keep = 1.0 - self.rate
+        self._mask = (self._rng.random(inputs.shape) < keep) / keep
+        return inputs * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        grad_output = np.asarray(grad_output, dtype=np.float64)
+        if self._mask is None:
+            return grad_output
+        return grad_output * self._mask

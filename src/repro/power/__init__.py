@@ -1,0 +1,30 @@
+"""Energy model for data offloading from edge devices (Fig. 9).
+
+The paper's power argument (Section 5.2, following Neurosurgeon [10]) is
+that for edge-device deep learning the energy spent transmitting an input
+image over a wireless link is comparable to — or larger than — the energy
+of the DNN computation itself, so compressing the image proportionally
+reduces the dominant term.  This package provides a parametric model of
+that trade-off: wireless links characterised by throughput and transmit
+power, a DNN compute-energy term, and a per-method breakdown normalised
+to the uncompressed baseline.
+"""
+
+from repro.power.energy import (
+    DNN_WORKLOADS,
+    WIRELESS_LINKS,
+    DnnWorkload,
+    EnergyModel,
+    WirelessLink,
+)
+from repro.power.breakdown import PowerBreakdown, offloading_power_breakdown
+
+__all__ = [
+    "DNN_WORKLOADS",
+    "DnnWorkload",
+    "EnergyModel",
+    "PowerBreakdown",
+    "WIRELESS_LINKS",
+    "WirelessLink",
+    "offloading_power_breakdown",
+]

@@ -1,0 +1,69 @@
+"""Tests for the Eq. 2 gradient-based band saliency."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.sensitivity import frequency_band_saliency, input_gradient
+from repro.data.transforms import prepare_for_network
+from repro.nn import models
+
+
+@pytest.fixture(scope="module")
+def small_classifier():
+    return models.alexnet_mini(num_classes=4, input_shape=(1, 16, 16), seed=0,
+                               base_channels=6)
+
+
+class TestInputGradient:
+    def test_shape_matches_input(self, small_classifier, rng):
+        inputs = rng.normal(size=(3, 1, 16, 16))
+        gradient = input_gradient(small_classifier, inputs, np.array([0, 1, 2]))
+        assert gradient.shape == inputs.shape
+        assert np.isfinite(gradient).all()
+
+    def test_gradient_is_nonzero(self, small_classifier, rng):
+        inputs = rng.normal(size=(2, 1, 16, 16))
+        gradient = input_gradient(small_classifier, inputs, np.array([0, 3]))
+        assert np.abs(gradient).max() > 0.0
+
+    def test_rejects_mismatched_targets(self, small_classifier, rng):
+        with pytest.raises(ValueError):
+            input_gradient(
+                small_classifier, rng.normal(size=(2, 1, 16, 16)), np.array([0])
+            )
+
+
+class TestBandSaliency:
+    def test_shape_and_nonnegativity(self, small_classifier, rng):
+        images = np.clip(rng.normal(128, 40, (3, 16, 16)), 0, 255)
+        saliency = frequency_band_saliency(
+            small_classifier,
+            images,
+            prepare_for_network(images),
+            np.array([0, 1, 2]),
+        )
+        assert saliency.shape == (8, 8)
+        assert np.all(saliency >= 0.0)
+        assert saliency.max() > 0.0
+
+    def test_saliency_tracks_image_content(self, small_classifier):
+        """A smooth image has its saliency concentrated in low bands, because
+        Eq. 2 weights the gradient by the image's own DCT coefficients."""
+        x, y = np.meshgrid(np.arange(16), np.arange(16))
+        smooth = 128.0 + 60.0 * np.sin(x / 8.0)
+        images = np.stack([smooth], axis=0)
+        saliency = frequency_band_saliency(
+            small_classifier, images, prepare_for_network(images), np.array([0])
+        )
+        low = saliency[:2, :2].sum()
+        high = saliency[4:, 4:].sum()
+        assert low > high
+
+    def test_rejects_bad_image_rank(self, small_classifier, rng):
+        with pytest.raises(ValueError):
+            frequency_band_saliency(
+                small_classifier,
+                rng.normal(size=(16, 16)),
+                rng.normal(size=(1, 1, 16, 16)),
+                np.array([0]),
+            )

@@ -1,0 +1,44 @@
+"""Tests for coefficient distribution fitting."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.statistics import band_kurtosis, fit_band_distribution
+from repro.analysis.frequency import coefficients_by_band
+
+
+class TestFitBandDistribution:
+    def test_gaussian_data_prefers_gaussian(self, rng):
+        samples = rng.normal(0, 10, 20000)
+        fit = fit_band_distribution(samples)
+        assert fit.preferred_model == "gaussian"
+        assert fit.std == pytest.approx(10.0, rel=0.05)
+
+    def test_laplace_data_prefers_laplace(self, rng):
+        samples = rng.laplace(0, 10, 20000)
+        fit = fit_band_distribution(samples)
+        assert fit.preferred_model == "laplace"
+        assert fit.laplace_scale == pytest.approx(10.0, rel=0.05)
+
+    def test_requires_two_samples(self):
+        with pytest.raises(ValueError):
+            fit_band_distribution(np.array([1.0]))
+
+    def test_natural_image_ac_band_is_leptokurtic(self, small_freqnet):
+        """Reininger & Gibson: AC coefficients of image data are closer to a
+        Laplace distribution than a Gaussian one."""
+        coefficients = coefficients_by_band(small_freqnet.images)
+        ac_band = coefficients[:, 0, 1]
+        fit = fit_band_distribution(ac_band)
+        assert fit.preferred_model == "laplace"
+        assert band_kurtosis(ac_band) > 0.0
+
+
+class TestKurtosis:
+    def test_gaussian_kurtosis_near_zero(self, rng):
+        samples = rng.normal(size=50000)
+        assert abs(band_kurtosis(samples)) < 0.1
+
+    def test_requires_four_samples(self):
+        with pytest.raises(ValueError):
+            band_kurtosis(np.array([1.0, 2.0, 3.0]))

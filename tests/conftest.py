@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, FreqNetConfig, generate_freqnet
+
+
+@pytest.fixture(scope="session")
+def rng():
+    """A seeded random generator shared by tests that need raw noise."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_freqnet() -> Dataset:
+    """A small FreqNet dataset reused across test modules (read-only)."""
+    return generate_freqnet(
+        FreqNetConfig(images_per_class=6, image_size=32, seed=3)
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_freqnet() -> Dataset:
+    """A very small dataset for the slowest integration tests."""
+    return generate_freqnet(
+        FreqNetConfig(images_per_class=4, image_size=16, seed=5)
+    )
+
+
+@pytest.fixture
+def random_image(rng) -> np.ndarray:
+    """A 32x32 grayscale image with moderate contrast."""
+    return np.clip(rng.normal(128.0, 35.0, (32, 32)), 0.0, 255.0)
+
+
+@pytest.fixture
+def random_rgb_image(rng) -> np.ndarray:
+    """A 24x24 RGB image."""
+    return np.clip(rng.normal(128.0, 35.0, (24, 24, 3)), 0.0, 255.0)
+
+
+@pytest.fixture
+def smooth_image() -> np.ndarray:
+    """A smooth, highly compressible grayscale image."""
+    x, y = np.meshgrid(np.arange(40), np.arange(40))
+    return 128.0 + 60.0 * np.sin(x / 12.0) * np.cos(y / 15.0)

@@ -1,0 +1,127 @@
+"""Tests for the dataset-level compressors (JPEG, RM-HF, SAME-Q)."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    JpegCompressor,
+    RemoveHighFrequencyCompressor,
+    SameQCompressor,
+    compress_dataset_with_table,
+)
+from repro.jpeg.quantization import (
+    MAX_QUANT_STEP,
+    QuantizationTable,
+    STANDARD_LUMINANCE_TABLE,
+)
+from repro.jpeg.zigzag import zigzag
+
+
+class TestJpegCompressor:
+    def test_quality_monotone_in_size(self, small_freqnet):
+        sizes = []
+        for quality in (100, 60, 20):
+            compressed = JpegCompressor(quality).compress_dataset(small_freqnet)
+            sizes.append(compressed.total_bytes)
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_reconstruction_matches_shape_and_labels(self, small_freqnet):
+        compressed = JpegCompressor(50).compress_dataset(small_freqnet)
+        assert compressed.dataset.images.shape == small_freqnet.images.shape
+        np.testing.assert_array_equal(
+            compressed.dataset.labels, small_freqnet.labels
+        )
+
+    def test_compression_ratio_definition(self, small_freqnet):
+        compressed = JpegCompressor(50).compress_dataset(small_freqnet)
+        assert compressed.compression_ratio == pytest.approx(
+            small_freqnet.uncompressed_bytes() / compressed.total_bytes
+        )
+        assert compressed.bytes_per_image == pytest.approx(
+            compressed.total_bytes / len(small_freqnet)
+        )
+
+    def test_invalid_quality(self):
+        with pytest.raises(ValueError):
+            JpegCompressor(0)
+
+    def test_tables_are_standard_scaled(self):
+        compressor = JpegCompressor(50)
+        np.testing.assert_allclose(
+            compressor.luma_table().values, STANDARD_LUMINANCE_TABLE
+        )
+
+
+class TestRemoveHighFrequency:
+    def test_removed_bands_have_max_step(self):
+        compressor = RemoveHighFrequencyCompressor(removed_components=5,
+                                                   quality=100)
+        table_zigzag = zigzag(compressor.luma_table().values)
+        assert np.all(table_zigzag[-5:] == MAX_QUANT_STEP)
+        assert np.all(table_zigzag[:-5] == 1)
+
+    def test_zero_removed_equals_plain_jpeg(self, small_freqnet):
+        plain = JpegCompressor(100).compress_dataset(small_freqnet)
+        rm0 = RemoveHighFrequencyCompressor(0, quality=100).compress_dataset(
+            small_freqnet
+        )
+        assert rm0.total_bytes == plain.total_bytes
+
+    def test_removing_more_components_compresses_more(self, small_freqnet):
+        small = RemoveHighFrequencyCompressor(3).compress_dataset(small_freqnet)
+        large = RemoveHighFrequencyCompressor(9).compress_dataset(small_freqnet)
+        assert large.total_bytes < small.total_bytes
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            RemoveHighFrequencyCompressor(64)
+        with pytest.raises(ValueError):
+            RemoveHighFrequencyCompressor(3, quality=0)
+
+    def test_name_matches_paper_notation(self):
+        assert RemoveHighFrequencyCompressor(3).name == "RM-HF3"
+
+
+class TestSameQ:
+    def test_flat_table(self):
+        compressor = SameQCompressor(8)
+        assert np.all(compressor.luma_table().values == 8)
+        assert compressor.name == "SAME-Q8"
+
+    def test_larger_step_compresses_more(self, small_freqnet):
+        q4 = SameQCompressor(4).compress_dataset(small_freqnet)
+        q12 = SameQCompressor(12).compress_dataset(small_freqnet)
+        assert q12.total_bytes < q4.total_bytes
+        assert q12.mean_psnr < q4.mean_psnr
+
+    def test_invalid_step(self):
+        with pytest.raises(ValueError):
+            SameQCompressor(0.5)
+
+
+class TestCompressDatasetWithTable:
+    def test_color_dataset_path(self, rng):
+        from repro.data import Dataset
+
+        images = np.clip(rng.normal(128, 30, (4, 16, 16, 3)), 0, 255)
+        dataset = Dataset(images, np.zeros(4, dtype=int), ["only"])
+        compressed = compress_dataset_with_table(
+            dataset, QuantizationTable.standard_luminance(80),
+            QuantizationTable.standard_chrominance(80),
+        )
+        assert compressed.dataset.images.shape == images.shape
+        assert compressed.payload_bytes > 0
+
+    def test_method_name_recorded(self, small_freqnet):
+        compressed = compress_dataset_with_table(
+            small_freqnet, QuantizationTable.flat(4), method="custom-flat"
+        )
+        assert compressed.method == "custom-flat"
+
+    def test_payload_ratio_larger_than_total_ratio(self, small_freqnet):
+        compressed = compress_dataset_with_table(
+            small_freqnet, QuantizationTable.flat(8)
+        )
+        assert (
+            compressed.payload_compression_ratio > compressed.compression_ratio
+        )

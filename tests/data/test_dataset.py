@@ -1,0 +1,96 @@
+"""Tests for the Dataset container and splitting."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset, train_test_split
+
+
+def _make_dataset(samples_per_class=5, classes=3, size=8, seed=0):
+    rng = np.random.default_rng(seed)
+    images = rng.uniform(0, 255, (samples_per_class * classes, size, size))
+    labels = np.repeat(np.arange(classes), samples_per_class)
+    return Dataset(images, labels, [f"class{i}" for i in range(classes)])
+
+
+class TestDataset:
+    def test_basic_properties(self):
+        dataset = _make_dataset()
+        assert len(dataset) == 15
+        assert dataset.num_classes == 3
+        assert dataset.image_shape == (8, 8)
+        assert dataset.uncompressed_bytes() == 15 * 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((2, 8, 8)), np.array([0]), ["a"])
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((2, 8, 8)), np.array([0, 5]), ["a"])
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((2, 8)), np.array([0, 0]), ["a"])
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((2, 8, 8)), np.array([0, 0]), [])
+
+    def test_subset(self):
+        dataset = _make_dataset()
+        subset = dataset.subset(np.array([0, 5, 10]))
+        assert len(subset) == 3
+        np.testing.assert_array_equal(subset.labels, [0, 1, 2])
+
+    def test_indices_of_class(self):
+        dataset = _make_dataset()
+        indices = dataset.indices_of_class(1)
+        assert np.all(dataset.labels[indices] == 1)
+        with pytest.raises(ValueError):
+            dataset.indices_of_class(7)
+
+    def test_class_counts(self):
+        dataset = _make_dataset(samples_per_class=4, classes=2)
+        np.testing.assert_array_equal(dataset.class_counts(), [4, 4])
+
+    def test_with_images_keeps_labels(self):
+        dataset = _make_dataset()
+        replaced = dataset.with_images(np.zeros_like(dataset.images))
+        np.testing.assert_array_equal(replaced.labels, dataset.labels)
+        assert np.all(replaced.images == 0)
+        with pytest.raises(ValueError):
+            dataset.with_images(np.zeros((3, 8, 8)))
+
+    def test_color_dataset_supported(self):
+        images = np.zeros((4, 8, 8, 3))
+        dataset = Dataset(images, np.zeros(4, dtype=int), ["only"])
+        assert dataset.uncompressed_bytes() == 4 * 8 * 8 * 3
+
+
+class TestTrainTestSplit:
+    def test_stratified_counts(self):
+        dataset = _make_dataset(samples_per_class=8, classes=4)
+        train, test = train_test_split(dataset, test_fraction=0.25, seed=0)
+        assert np.all(test.class_counts() == 2)
+        assert np.all(train.class_counts() == 6)
+        assert len(train) + len(test) == len(dataset)
+
+    def test_no_overlap(self):
+        dataset = _make_dataset(samples_per_class=6)
+        train, test = train_test_split(dataset, test_fraction=0.3, seed=1)
+        train_hashes = {image.tobytes() for image in train.images}
+        test_hashes = {image.tobytes() for image in test.images}
+        assert not train_hashes & test_hashes
+
+    def test_deterministic_given_seed(self):
+        dataset = _make_dataset(samples_per_class=6)
+        first = train_test_split(dataset, seed=3)
+        second = train_test_split(dataset, seed=3)
+        np.testing.assert_array_equal(first[1].images, second[1].images)
+
+    def test_rejects_bad_fraction(self):
+        dataset = _make_dataset()
+        with pytest.raises(ValueError):
+            train_test_split(dataset, test_fraction=0.0)
+        with pytest.raises(ValueError):
+            train_test_split(dataset, test_fraction=1.0)
+
+    def test_rejects_too_small_classes(self):
+        dataset = _make_dataset(samples_per_class=1)
+        with pytest.raises(ValueError):
+            train_test_split(dataset, test_fraction=0.9)

@@ -1,0 +1,67 @@
+"""Tests for the Algorithm-1 class-interval sampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.dataset import Dataset
+from repro.data.sampling import sample_class_representatives
+
+
+def _dataset(samples_per_class, classes=4):
+    total = samples_per_class * classes
+    images = np.arange(total * 4, dtype=float).reshape(total, 2, 2)
+    labels = np.repeat(np.arange(classes), samples_per_class)
+    return Dataset(images, labels, [f"c{i}" for i in range(classes)])
+
+
+class TestSampling:
+    def test_interval_one_keeps_everything(self):
+        dataset = _dataset(5)
+        sampled = sample_class_representatives(dataset, interval=1)
+        assert len(sampled) == len(dataset)
+
+    def test_interval_sampling_count(self):
+        dataset = _dataset(10)
+        sampled = sample_class_representatives(dataset, interval=3)
+        # ceil(10 / 3) = 4 per class.
+        assert len(sampled) == 4 * 4
+
+    def test_every_class_represented(self):
+        dataset = _dataset(3, classes=5)
+        sampled = sample_class_representatives(dataset, interval=10)
+        assert set(np.unique(sampled.labels)) == set(range(5))
+
+    def test_max_per_class_cap(self):
+        dataset = _dataset(10)
+        sampled = sample_class_representatives(dataset, interval=1, max_per_class=2)
+        assert np.all(sampled.class_counts() == 2)
+
+    def test_samples_come_from_correct_classes(self):
+        dataset = _dataset(6)
+        sampled = sample_class_representatives(dataset, interval=2)
+        for label in range(dataset.num_classes):
+            originals = {
+                image.tobytes() for image in
+                dataset.images[dataset.indices_of_class(label)]
+            }
+            picked = sampled.images[sampled.indices_of_class(label)]
+            assert all(image.tobytes() in originals for image in picked)
+
+    def test_rejects_invalid_arguments(self):
+        dataset = _dataset(3)
+        with pytest.raises(ValueError):
+            sample_class_representatives(dataset, interval=0)
+        with pytest.raises(ValueError):
+            sample_class_representatives(dataset, max_per_class=0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=20),
+           st.integers(min_value=1, max_value=10))
+    def test_sample_size_bounds_property(self, samples_per_class, interval):
+        dataset = _dataset(samples_per_class, classes=3)
+        sampled = sample_class_representatives(dataset, interval=interval)
+        per_class = sampled.class_counts()
+        expected = -(-samples_per_class // interval)  # ceil division
+        assert np.all(per_class == max(expected, 1))

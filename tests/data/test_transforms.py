@@ -1,0 +1,47 @@
+"""Tests for network input transforms."""
+
+import numpy as np
+import pytest
+
+from repro.data.transforms import (
+    images_to_nchw,
+    normalize_images,
+    prepare_for_network,
+)
+
+
+class TestImagesToNchw:
+    def test_grayscale_gets_channel_axis(self):
+        images = np.zeros((5, 16, 16))
+        assert images_to_nchw(images).shape == (5, 1, 16, 16)
+
+    def test_color_channels_move_first(self):
+        images = np.zeros((5, 16, 16, 3))
+        assert images_to_nchw(images).shape == (5, 3, 16, 16)
+
+    def test_color_values_preserved(self, rng):
+        images = rng.normal(size=(2, 4, 4, 3))
+        nchw = images_to_nchw(images)
+        np.testing.assert_allclose(nchw[1, 2], images[1, :, :, 2])
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ValueError):
+            images_to_nchw(np.zeros((16, 16)))
+
+
+class TestNormalize:
+    def test_range_mapping(self):
+        images = np.array([0.0, 127.5, 255.0])
+        np.testing.assert_allclose(normalize_images(images), [-1.0, 0.0, 1.0])
+
+    def test_rejects_non_positive_scale(self):
+        with pytest.raises(ValueError):
+            normalize_images(np.zeros(3), scale=0)
+
+
+class TestPrepareForNetwork:
+    def test_combined_transform(self):
+        images = np.full((2, 8, 8), 255.0)
+        prepared = prepare_for_network(images)
+        assert prepared.shape == (2, 1, 8, 8)
+        np.testing.assert_allclose(prepared, 1.0)

@@ -1,0 +1,146 @@
+"""Tests for the end-to-end JPEG-style codecs."""
+
+import numpy as np
+import pytest
+
+from repro.jpeg import (
+    ColorJpegCodec,
+    GrayscaleJpegCodec,
+    QuantizationTable,
+    psnr,
+)
+
+
+class TestGrayscaleCodec:
+    def test_roundtrip_preserves_shape_and_range(self, random_image):
+        codec = GrayscaleJpegCodec(QuantizationTable.standard_luminance(75))
+        result = codec.compress(random_image)
+        assert result.reconstructed.shape == random_image.shape
+        assert result.reconstructed.min() >= 0.0
+        assert result.reconstructed.max() <= 255.0
+
+    def test_lossless_quantization_is_near_exact(self, smooth_image):
+        codec = GrayscaleJpegCodec(QuantizationTable.flat(1))
+        result = codec.compress(smooth_image)
+        assert result.psnr(smooth_image) > 50.0
+
+    def test_larger_steps_reduce_size_and_quality(self, random_image):
+        fine = GrayscaleJpegCodec(QuantizationTable.flat(2)).compress(random_image)
+        coarse = GrayscaleJpegCodec(QuantizationTable.flat(40)).compress(random_image)
+        assert coarse.payload_bytes < fine.payload_bytes
+        assert coarse.psnr(random_image) < fine.psnr(random_image)
+
+    def test_smooth_images_compress_better_than_noise(self, random_image, smooth_image):
+        codec = GrayscaleJpegCodec(QuantizationTable.standard_luminance(50))
+        noisy = codec.compress(random_image)
+        smooth = codec.compress(smooth_image[:32, :32])
+        assert smooth.payload_bytes < noisy.payload_bytes
+
+    def test_compression_ratio_accounts_for_header(self, random_image):
+        codec = GrayscaleJpegCodec(QuantizationTable.standard_luminance(50))
+        result = codec.compress(random_image)
+        assert result.total_bytes == result.payload_bytes + result.header_bytes
+        assert result.original_bytes == random_image.size
+        assert result.compression_ratio < result.payload_compression_ratio
+
+    def test_non_multiple_of_eight_dimensions(self, rng):
+        image = np.clip(rng.normal(120, 30, (19, 27)), 0, 255)
+        codec = GrayscaleJpegCodec(QuantizationTable.standard_luminance(60))
+        result = codec.compress(image)
+        assert result.reconstructed.shape == image.shape
+
+    def test_quality_monotonic_in_psnr(self, random_image):
+        results = [
+            GrayscaleJpegCodec(
+                QuantizationTable.standard_luminance(quality)
+            ).compress(random_image)
+            for quality in (20, 50, 90)
+        ]
+        psnrs = [result.psnr(random_image) for result in results]
+        assert psnrs == sorted(psnrs)
+
+    def test_optimized_huffman_never_larger(self, random_image):
+        table = QuantizationTable.standard_luminance(50)
+        standard = GrayscaleJpegCodec(table).compress(random_image)
+        optimized = GrayscaleJpegCodec(table, optimize_huffman=True).compress(
+            random_image
+        )
+        assert optimized.payload_bytes <= standard.payload_bytes
+
+    def test_encode_decode_consistent_with_compress(self, random_image):
+        codec = GrayscaleJpegCodec(QuantizationTable.standard_luminance(70))
+        encoded = codec.encode(random_image)
+        decoded = codec.decode(encoded)
+        result = codec.compress(random_image)
+        np.testing.assert_allclose(decoded, result.reconstructed)
+        assert len(encoded.data) == result.payload_bytes
+
+    def test_rejects_color_input(self, random_rgb_image):
+        codec = GrayscaleJpegCodec(QuantizationTable.standard_luminance(50))
+        with pytest.raises(ValueError):
+            codec.compress(random_rgb_image)
+
+    def test_constant_image_compresses_extremely_well(self):
+        image = np.full((64, 64), 200.0)
+        codec = GrayscaleJpegCodec(QuantizationTable.standard_luminance(50))
+        result = codec.compress(image)
+        assert result.payload_compression_ratio > 30.0
+        assert result.psnr(image) > 40.0
+
+
+class TestColorCodec:
+    def test_roundtrip_shape(self, random_rgb_image):
+        codec = ColorJpegCodec(
+            QuantizationTable.standard_luminance(75),
+            QuantizationTable.standard_chrominance(75),
+        )
+        result = codec.compress(random_rgb_image)
+        assert result.reconstructed.shape == random_rgb_image.shape
+        assert result.original_bytes == random_rgb_image.size
+
+    def test_subsampling_reduces_size(self, random_rgb_image):
+        luma = QuantizationTable.standard_luminance(75)
+        chroma = QuantizationTable.standard_chrominance(75)
+        with_sub = ColorJpegCodec(luma, chroma, subsample_chroma=True).compress(
+            random_rgb_image
+        )
+        without_sub = ColorJpegCodec(luma, chroma, subsample_chroma=False).compress(
+            random_rgb_image
+        )
+        assert with_sub.payload_bytes < without_sub.payload_bytes
+
+    def test_reasonable_quality_on_smooth_color_image(self):
+        x, y = np.meshgrid(np.arange(32), np.arange(32))
+        image = np.stack(
+            [128 + 60 * np.sin(x / 10), 128 + 60 * np.cos(y / 12),
+             np.full_like(x, 100.0, dtype=float)],
+            axis=-1,
+        )
+        codec = ColorJpegCodec(
+            QuantizationTable.standard_luminance(90),
+            QuantizationTable.standard_chrominance(90),
+        )
+        result = codec.compress(image)
+        assert psnr(image, result.reconstructed) > 28.0
+
+    def test_chroma_table_defaults_to_luma(self, random_rgb_image):
+        luma = QuantizationTable.standard_luminance(60)
+        codec = ColorJpegCodec(luma)
+        assert codec.chroma_table is luma
+        codec.compress(random_rgb_image)
+
+    def test_rejects_grayscale_input(self, random_image):
+        codec = ColorJpegCodec(QuantizationTable.standard_luminance(50))
+        with pytest.raises(ValueError):
+            codec.compress(random_image)
+
+    def test_header_larger_than_grayscale(self, random_image, random_rgb_image):
+        gray = GrayscaleJpegCodec(QuantizationTable.standard_luminance(50))
+        color = ColorJpegCodec(
+            QuantizationTable.standard_luminance(50),
+            QuantizationTable.standard_chrominance(50),
+        )
+        assert (
+            color.compress(random_rgb_image).header_bytes
+            > gray.compress(random_image).header_bytes
+        )

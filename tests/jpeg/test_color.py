@@ -1,0 +1,94 @@
+"""Tests for colour conversion and chroma subsampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.jpeg.color import (
+    rgb_to_ycbcr,
+    subsample_420,
+    upsample_420,
+    ycbcr_to_rgb,
+)
+
+
+class TestRgbYcbcr:
+    def test_roundtrip(self, random_rgb_image):
+        recovered = ycbcr_to_rgb(rgb_to_ycbcr(random_rgb_image))
+        np.testing.assert_allclose(recovered, random_rgb_image, atol=1e-9)
+
+    def test_gray_input_has_neutral_chroma(self):
+        gray = np.full((8, 8, 3), 90.0)
+        ycbcr = rgb_to_ycbcr(gray)
+        np.testing.assert_allclose(ycbcr[..., 0], 90.0)
+        np.testing.assert_allclose(ycbcr[..., 1], 128.0)
+        np.testing.assert_allclose(ycbcr[..., 2], 128.0)
+
+    def test_white_maps_to_peak_luma(self):
+        white = np.full((2, 2, 3), 255.0)
+        ycbcr = rgb_to_ycbcr(white)
+        np.testing.assert_allclose(ycbcr[..., 0], 255.0)
+
+    def test_pure_red_has_high_cr(self):
+        red = np.zeros((2, 2, 3))
+        red[..., 0] = 255.0
+        ycbcr = rgb_to_ycbcr(red)
+        assert np.all(ycbcr[..., 2] > 200.0)
+
+    def test_output_clipped_to_valid_range(self):
+        ycbcr = np.zeros((4, 4, 3))
+        ycbcr[..., 0] = 300.0
+        rgb = ycbcr_to_rgb(ycbcr)
+        assert rgb.max() <= 255.0
+        assert rgb.min() >= 0.0
+
+    def test_rejects_grayscale_input(self):
+        with pytest.raises(ValueError):
+            rgb_to_ycbcr(np.zeros((8, 8)))
+        with pytest.raises(ValueError):
+            ycbcr_to_rgb(np.zeros((8, 8, 4)))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        hnp.arrays(
+            np.float64, (4, 4, 3), elements=st.floats(0, 255, allow_nan=False)
+        )
+    )
+    def test_roundtrip_property(self, image):
+        np.testing.assert_allclose(
+            ycbcr_to_rgb(rgb_to_ycbcr(image)), image, atol=1e-6
+        )
+
+
+class TestChromaSubsampling:
+    def test_subsample_halves_dimensions(self):
+        channel = np.arange(64, dtype=float).reshape(8, 8)
+        assert subsample_420(channel).shape == (4, 4)
+
+    def test_subsample_averages_2x2_blocks(self):
+        channel = np.array([[1.0, 3.0], [5.0, 7.0]])
+        np.testing.assert_allclose(subsample_420(channel), [[4.0]])
+
+    def test_odd_dimensions_handled(self):
+        channel = np.ones((5, 7))
+        assert subsample_420(channel).shape == (3, 4)
+
+    def test_upsample_restores_shape(self):
+        channel = np.random.default_rng(0).normal(size=(6, 6))
+        sub = subsample_420(channel)
+        up = upsample_420(sub, channel.shape)
+        assert up.shape == channel.shape
+
+    def test_upsample_of_constant_is_exact(self):
+        channel = np.full((10, 10), 42.0)
+        np.testing.assert_allclose(
+            upsample_420(subsample_420(channel), channel.shape), channel
+        )
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            subsample_420(np.zeros((2, 2, 3)))
+        with pytest.raises(ValueError):
+            upsample_420(np.zeros((2, 2, 3)), (4, 4))

@@ -1,0 +1,104 @@
+"""Tests for the 8x8 block DCT."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+from scipy import fft as scipy_fft
+
+from repro.jpeg.dct import (
+    BLOCK_SIZE,
+    block_dct2d,
+    block_idct2d,
+    dct2d,
+    dct_matrix,
+    idct2d,
+)
+
+
+class TestDctMatrix:
+    def test_is_orthonormal(self):
+        matrix = dct_matrix(8)
+        np.testing.assert_allclose(matrix @ matrix.T, np.eye(8), atol=1e-12)
+
+    def test_first_row_is_constant(self):
+        matrix = dct_matrix(8)
+        np.testing.assert_allclose(matrix[0], np.full(8, np.sqrt(1 / 8)))
+
+    def test_other_sizes(self):
+        matrix = dct_matrix(4)
+        np.testing.assert_allclose(matrix @ matrix.T, np.eye(4), atol=1e-12)
+
+
+class TestDct2d:
+    def test_matches_scipy(self, rng):
+        block = rng.normal(0, 50, (8, 8))
+        expected = scipy_fft.dctn(block, type=2, norm="ortho")
+        np.testing.assert_allclose(dct2d(block), expected, atol=1e-9)
+
+    def test_roundtrip(self, rng):
+        block = rng.normal(0, 50, (8, 8))
+        np.testing.assert_allclose(idct2d(dct2d(block)), block, atol=1e-9)
+
+    def test_constant_block_has_only_dc(self):
+        block = np.full((8, 8), 17.0)
+        coefficients = dct2d(block)
+        assert coefficients[0, 0] == pytest.approx(17.0 * 8)
+        assert np.abs(coefficients).sum() == pytest.approx(abs(coefficients[0, 0]))
+
+    def test_energy_preservation(self, rng):
+        block = rng.normal(0, 30, (8, 8))
+        coefficients = dct2d(block)
+        assert np.sum(block ** 2) == pytest.approx(np.sum(coefficients ** 2))
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            dct2d(np.zeros((4, 4)))
+
+    def test_alternating_pattern_concentrates_in_high_bands(self):
+        rows = np.arange(8)[:, None]
+        cols = np.arange(8)[None, :]
+        block = np.where((rows + cols) % 2 == 0, 10.0, -10.0)
+        coefficients = dct2d(block)
+        # The per-pixel alternating pattern is the highest-frequency content
+        # an 8x8 block can carry: its single largest DCT coefficient is the
+        # (7, 7) corner and the bulk of its energy lies in the upper half of
+        # the band grid (rows and columns >= 4).
+        assert np.unravel_index(np.argmax(np.abs(coefficients)), (8, 8)) == (7, 7)
+        total_energy = np.sum(coefficients ** 2)
+        high_energy = np.sum(coefficients[4:, 4:] ** 2)
+        assert high_energy > 0.8 * total_energy
+
+
+class TestBlockDct:
+    def test_matches_single_block_version(self, rng):
+        blocks = rng.normal(0, 40, (5, 8, 8))
+        stacked = block_dct2d(blocks)
+        for i in range(5):
+            np.testing.assert_allclose(stacked[i], dct2d(blocks[i]), atol=1e-9)
+
+    def test_roundtrip_stack(self, rng):
+        blocks = rng.normal(0, 40, (7, 8, 8))
+        np.testing.assert_allclose(
+            block_idct2d(block_dct2d(blocks)), blocks, atol=1e-9
+        )
+
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            block_dct2d(np.zeros((3, 4, 4)))
+        with pytest.raises(ValueError):
+            block_idct2d(np.zeros((8, 8)))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        hnp.arrays(
+            np.float64,
+            (3, BLOCK_SIZE, BLOCK_SIZE),
+            elements=st.floats(-1000, 1000, allow_nan=False),
+        )
+    )
+    def test_roundtrip_property(self, blocks):
+        np.testing.assert_allclose(
+            block_idct2d(block_dct2d(blocks)), blocks, atol=1e-6
+        )

@@ -1,0 +1,137 @@
+"""Tests for Huffman table construction and coding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.jpeg.bitstream import BitReader, BitWriter
+from repro.jpeg.huffman import MAX_CODE_LENGTH, HuffmanTable
+
+
+class TestStandardTables:
+    @pytest.mark.parametrize(
+        "factory, symbol_count",
+        [
+            (HuffmanTable.standard_dc_luminance, 12),
+            (HuffmanTable.standard_dc_chrominance, 12),
+            (HuffmanTable.standard_ac_luminance, 162),
+            (HuffmanTable.standard_ac_chrominance, 162),
+        ],
+    )
+    def test_symbol_counts(self, factory, symbol_count):
+        table = factory()
+        assert len(table.symbols()) == symbol_count
+
+    def test_codes_are_prefix_free(self):
+        table = HuffmanTable.standard_ac_luminance()
+        codes = [
+            format(code, f"0{length}b")
+            for code, length in (table.encode(s) for s in table.symbols())
+        ]
+        for i, first in enumerate(codes):
+            for j, second in enumerate(codes):
+                if i != j:
+                    assert not second.startswith(first)
+
+    def test_known_code_for_eob(self):
+        # In Annex K Table K.5 the EOB symbol (0x00) has the 4-bit code 1010.
+        table = HuffmanTable.standard_ac_luminance()
+        assert table.encode(0x00) == (0b1010, 4)
+
+    def test_unknown_symbol_raises(self):
+        table = HuffmanTable.standard_dc_luminance()
+        with pytest.raises(KeyError):
+            table.encode(0x55)
+
+    def test_contains(self):
+        table = HuffmanTable.standard_dc_luminance()
+        assert 0 in table
+        assert 200 not in table
+
+    def test_header_cost(self):
+        table = HuffmanTable.standard_dc_luminance()
+        assert table.header_cost_bytes() == 1 + 16 + 12
+
+
+class TestTableValidation:
+    def test_bits_length_enforced(self):
+        with pytest.raises(ValueError):
+            HuffmanTable([1] * 15, [0])
+
+    def test_symbol_count_must_match_bits(self):
+        with pytest.raises(ValueError):
+            HuffmanTable([1] + [0] * 15, [0, 1])
+
+    def test_duplicate_symbols_rejected(self):
+        with pytest.raises(ValueError):
+            HuffmanTable([2] + [0] * 15, [7, 7])
+
+
+class TestOptimizedTables:
+    def test_more_frequent_symbols_get_shorter_codes(self):
+        frequencies = {0: 1000, 1: 500, 2: 100, 3: 10, 4: 1}
+        table = HuffmanTable.from_frequencies(frequencies)
+        assert table.code_length(0) <= table.code_length(4)
+
+    def test_single_symbol(self):
+        table = HuffmanTable.from_frequencies({7: 42})
+        code, length = table.encode(7)
+        assert length == 1
+
+    def test_zero_count_symbols_dropped(self):
+        table = HuffmanTable.from_frequencies({1: 10, 2: 0})
+        assert 1 in table
+        assert 2 not in table
+
+    def test_empty_frequencies_rejected(self):
+        with pytest.raises(ValueError):
+            HuffmanTable.from_frequencies({})
+
+    def test_roundtrip_through_bitstream(self):
+        frequencies = {symbol: (symbol % 7) + 1 for symbol in range(40)}
+        table = HuffmanTable.from_frequencies(frequencies)
+        symbols = [3, 17, 39, 0, 21, 3, 3, 8]
+        writer = BitWriter()
+        for symbol in symbols:
+            writer.write_code(table.encode(symbol))
+        reader = BitReader(writer.getvalue())
+        decoded = [table.decode_symbol(reader) for _ in symbols]
+        assert decoded == symbols
+
+    def test_length_limited_to_16_bits(self):
+        # Exponentially skewed frequencies force long optimal codes.
+        frequencies = {symbol: 2 ** symbol for symbol in range(30)}
+        table = HuffmanTable.from_frequencies(frequencies)
+        lengths = [table.code_length(symbol) for symbol in range(30)]
+        assert max(lengths) <= MAX_CODE_LENGTH
+
+    def test_optimized_beats_or_matches_uniform_cost(self):
+        frequencies = {0: 900, 1: 50, 2: 25, 3: 25}
+        table = HuffmanTable.from_frequencies(frequencies)
+        total_bits = sum(
+            count * table.code_length(symbol)
+            for symbol, count in frequencies.items()
+        )
+        uniform_bits = sum(frequencies.values()) * 2
+        assert total_bits <= uniform_bits
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=255),
+            st.integers(min_value=1, max_value=10000),
+            min_size=1,
+            max_size=64,
+        )
+    )
+    def test_from_frequencies_property(self, frequencies):
+        table = HuffmanTable.from_frequencies(frequencies)
+        # Every symbol is encodable, codes fit in 16 bits and decode back.
+        writer = BitWriter()
+        symbols = sorted(frequencies)
+        for symbol in symbols:
+            code, length = table.encode(symbol)
+            assert 1 <= length <= MAX_CODE_LENGTH
+            writer.write_bits(code, length)
+        reader = BitReader(writer.getvalue())
+        assert [table.decode_symbol(reader) for _ in symbols] == symbols

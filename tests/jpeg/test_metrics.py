@@ -1,0 +1,51 @@
+"""Tests for image metrics."""
+
+import numpy as np
+import pytest
+
+from repro.jpeg.metrics import compression_ratio, mse, psnr
+
+
+class TestMse:
+    def test_identical_images(self):
+        image = np.ones((4, 4))
+        assert mse(image, image) == 0.0
+
+    def test_known_value(self):
+        a = np.zeros((2, 2))
+        b = np.full((2, 2), 3.0)
+        assert mse(a, b) == pytest.approx(9.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros((2, 2)), np.zeros((3, 3)))
+
+
+class TestPsnr:
+    def test_identical_is_infinite(self):
+        image = np.ones((4, 4))
+        assert psnr(image, image) == float("inf")
+
+    def test_known_value(self):
+        a = np.zeros((4, 4))
+        b = np.full((4, 4), 255.0)
+        assert psnr(a, b) == pytest.approx(0.0)
+
+    def test_smaller_error_gives_higher_psnr(self, rng):
+        reference = rng.normal(128, 20, (8, 8))
+        small_error = reference + 1.0
+        large_error = reference + 10.0
+        assert psnr(reference, small_error) > psnr(reference, large_error)
+
+
+class TestCompressionRatio:
+    def test_basic(self):
+        assert compression_ratio(1000, 250) == 4.0
+
+    def test_rejects_zero_compressed(self):
+        with pytest.raises(ValueError):
+            compression_ratio(100, 0)
+
+    def test_rejects_negative_original(self):
+        with pytest.raises(ValueError):
+            compression_ratio(-1, 10)

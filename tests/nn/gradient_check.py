@@ -1,0 +1,77 @@
+"""Numerical gradient checking helpers shared by the layer tests."""
+
+import numpy as np
+
+from repro.nn.losses import SoftmaxCrossEntropy
+
+
+def check_layer_gradients(
+    model,
+    inputs,
+    labels,
+    parameter_samples: int = 3,
+    epsilon: float = 1e-6,
+    tolerance: float = 5e-4,
+    check_input_gradient: bool = True,
+    rng=None,
+):
+    """Compare analytic and numerical gradients of ``model``.
+
+    The model is wrapped in a softmax cross-entropy loss.  A few entries of
+    every parameter (and optionally of the input) are perturbed with central
+    differences.  Gradients at ReLU/max-pool kinks can legitimately differ,
+    so the tolerance is on the absolute difference relative to the gradient
+    scale rather than exact equality.
+    """
+    rng = rng if rng is not None else np.random.default_rng(0)
+    loss = SoftmaxCrossEntropy()
+
+    def loss_value():
+        return loss.forward(model.forward(inputs, training=True), labels)
+
+    loss_value()
+    for parameter in model.parameters():
+        parameter.zero_grad()
+    model.backward(loss.backward())
+    stored_gradients = [parameter.grad.copy() for parameter in model.parameters()]
+
+    worst = 0.0
+    for parameter, analytic in zip(model.parameters(), stored_gradients):
+        flat_size = parameter.value.size
+        sample_indices = rng.choice(
+            flat_size, size=min(parameter_samples, flat_size), replace=False
+        )
+        for flat_index in sample_indices:
+            index = np.unravel_index(flat_index, parameter.value.shape)
+            original = parameter.value[index]
+            parameter.value[index] = original + epsilon
+            loss_plus = loss_value()
+            parameter.value[index] = original - epsilon
+            loss_minus = loss_value()
+            parameter.value[index] = original
+            numerical = (loss_plus - loss_minus) / (2 * epsilon)
+            scale = max(1.0, abs(numerical), abs(analytic[index]))
+            worst = max(worst, abs(numerical - analytic[index]) / scale)
+
+    if check_input_gradient:
+        loss_value()
+        for parameter in model.parameters():
+            parameter.zero_grad()
+        input_gradient = model.backward(loss.backward())
+        flat_size = inputs.size
+        for flat_index in rng.choice(flat_size, size=3, replace=False):
+            index = np.unravel_index(flat_index, inputs.shape)
+            perturbed = inputs.copy()
+            perturbed[index] += epsilon
+            loss_plus = loss.forward(
+                model.forward(perturbed, training=True), labels
+            )
+            perturbed[index] -= 2 * epsilon
+            loss_minus = loss.forward(
+                model.forward(perturbed, training=True), labels
+            )
+            numerical = (loss_plus - loss_minus) / (2 * epsilon)
+            scale = max(1.0, abs(numerical), abs(input_gradient[index]))
+            worst = max(worst, abs(numerical - input_gradient[index]) / scale)
+
+    assert worst < tolerance, f"max relative gradient error {worst:.2e}"

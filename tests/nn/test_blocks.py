@@ -1,0 +1,107 @@
+"""Tests for residual and inception blocks."""
+
+import numpy as np
+import pytest
+
+from repro.nn.base import Sequential
+from repro.nn.blocks import InceptionBlock, ResidualBlock, _PaddedMaxPool
+from repro.nn.dense import Dense
+from repro.nn.pooling import GlobalAvgPool2D
+from tests.nn.gradient_check import check_layer_gradients
+
+
+class TestResidualBlock:
+    def test_identity_shortcut_shape(self, rng):
+        block = ResidualBlock(4, 4, rng=np.random.default_rng(0))
+        outputs = block.forward(rng.normal(size=(2, 4, 8, 8)), training=True)
+        assert outputs.shape == (2, 4, 8, 8)
+        assert block.shortcut is None
+
+    def test_projection_shortcut_used_when_needed(self, rng):
+        block = ResidualBlock(4, 8, stride=2, rng=np.random.default_rng(0))
+        outputs = block.forward(rng.normal(size=(2, 4, 8, 8)), training=True)
+        assert outputs.shape == (2, 8, 4, 4)
+        assert block.shortcut is not None
+
+    def test_output_is_non_negative(self, rng):
+        block = ResidualBlock(3, 3, rng=np.random.default_rng(1))
+        outputs = block.forward(rng.normal(size=(2, 3, 6, 6)), training=True)
+        assert np.all(outputs >= 0.0)
+
+    def test_zeroed_body_passes_relu_of_identity(self, rng):
+        block = ResidualBlock(2, 2, rng=np.random.default_rng(2))
+        for parameter in block.body.parameters():
+            parameter.value[...] = 0.0
+        inputs = rng.normal(size=(1, 2, 4, 4))
+        outputs = block.forward(inputs, training=True)
+        np.testing.assert_allclose(outputs, np.maximum(inputs, 0.0), atol=1e-12)
+
+    def test_gradients(self, rng):
+        model = Sequential([
+            ResidualBlock(2, 3, stride=2, rng=np.random.default_rng(3)),
+            GlobalAvgPool2D(),
+            Dense(3, 2, rng=np.random.default_rng(4)),
+        ])
+        inputs = rng.normal(size=(4, 2, 8, 8))
+        check_layer_gradients(model, inputs, np.array([0, 1, 1, 0]),
+                              tolerance=2e-3)
+
+    def test_parameters_include_shortcut(self):
+        plain = ResidualBlock(4, 4, rng=np.random.default_rng(5))
+        projected = ResidualBlock(4, 8, rng=np.random.default_rng(5))
+        assert len(projected.parameters()) > len(plain.parameters())
+
+    def test_backward_before_forward_raises(self):
+        block = ResidualBlock(2, 2, rng=np.random.default_rng(6))
+        with pytest.raises(RuntimeError):
+            block.backward(np.zeros((1, 2, 4, 4)))
+
+
+class TestInceptionBlock:
+    def test_output_channels_are_concatenated(self, rng):
+        block = InceptionBlock(4, 3, 2, 5, 2, 4, 2, rng=np.random.default_rng(0))
+        outputs = block.forward(rng.normal(size=(2, 4, 8, 8)), training=True)
+        assert block.out_channels == 3 + 5 + 4 + 2
+        assert outputs.shape == (2, block.out_channels, 8, 8)
+
+    def test_spatial_size_preserved(self, rng):
+        block = InceptionBlock(2, 2, 2, 2, 2, 2, 2, rng=np.random.default_rng(1))
+        outputs = block.forward(rng.normal(size=(1, 2, 11, 13)), training=True)
+        assert outputs.shape[2:] == (11, 13)
+
+    def test_gradients(self, rng):
+        model = Sequential([
+            InceptionBlock(2, 2, 2, 3, 2, 2, 2, rng=np.random.default_rng(2)),
+            GlobalAvgPool2D(),
+            Dense(9, 3, rng=np.random.default_rng(3)),
+        ])
+        inputs = rng.normal(size=(3, 2, 6, 6))
+        check_layer_gradients(model, inputs, np.array([0, 1, 2]),
+                              tolerance=2e-3)
+
+    def test_parameters_cover_all_branches(self):
+        block = InceptionBlock(2, 2, 2, 2, 2, 2, 2, rng=np.random.default_rng(4))
+        # 1x1 branch: 1 conv; 3x3: 2 convs; 5x5: 2 convs; pool: 1 conv.
+        assert len(block.parameters()) == 2 * (1 + 2 + 2 + 1)
+
+
+class TestPaddedMaxPool:
+    def test_same_spatial_size(self, rng):
+        layer = _PaddedMaxPool()
+        inputs = rng.normal(size=(2, 3, 7, 9))
+        assert layer.forward(inputs).shape == inputs.shape
+
+    def test_matches_naive_maximum(self, rng):
+        layer = _PaddedMaxPool()
+        inputs = rng.normal(size=(1, 1, 5, 5))
+        outputs = layer.forward(inputs)
+        padded = np.pad(inputs[0, 0], 1, mode="constant",
+                        constant_values=-np.inf)
+        for row in range(5):
+            for col in range(5):
+                expected = padded[row:row + 3, col:col + 3].max()
+                assert outputs[0, 0, row, col] == pytest.approx(expected)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            _PaddedMaxPool().backward(np.zeros((1, 1, 4, 4)))

@@ -1,0 +1,72 @@
+"""Tests for the im2col / col2im transforms."""
+
+import numpy as np
+import pytest
+
+from repro.nn.im2col import col2im, conv_output_size, im2col
+
+
+class TestConvOutputSize:
+    @pytest.mark.parametrize(
+        "size, kernel, stride, pad, expected",
+        [(8, 3, 1, 1, 8), (8, 3, 1, 0, 6), (8, 2, 2, 0, 4), (7, 3, 2, 1, 4)],
+    )
+    def test_known_geometries(self, size, kernel, stride, pad, expected):
+        assert conv_output_size(size, kernel, stride, pad) == expected
+
+    def test_invalid_geometry_raises(self):
+        with pytest.raises(ValueError):
+            conv_output_size(2, 5, 1, 0)
+
+
+class TestIm2col:
+    def test_patch_count_and_width(self, rng):
+        images = rng.normal(size=(2, 3, 8, 8))
+        columns = im2col(images, 3, 3, 1, 1)
+        assert columns.shape == (2 * 8 * 8, 3 * 3 * 3)
+
+    def test_single_pixel_kernel_is_reshape(self, rng):
+        images = rng.normal(size=(1, 2, 4, 4))
+        columns = im2col(images, 1, 1, 1, 0)
+        np.testing.assert_allclose(
+            columns, images.transpose(0, 2, 3, 1).reshape(16, 2)
+        )
+
+    def test_patch_content_matches_manual_extraction(self, rng):
+        images = rng.normal(size=(1, 1, 5, 5))
+        columns = im2col(images, 3, 3, 1, 0)
+        manual_first_patch = images[0, 0, 0:3, 0:3].reshape(-1)
+        np.testing.assert_allclose(columns[0], manual_first_patch)
+
+    def test_rejects_non_nchw(self):
+        with pytest.raises(ValueError):
+            im2col(np.zeros((8, 8)), 3, 3, 1, 1)
+
+
+class TestCol2im:
+    def test_adjoint_property(self, rng):
+        # col2im is the adjoint of im2col: <im2col(x), y> == <x, col2im(y)>.
+        input_shape = (2, 3, 6, 6)
+        images = rng.normal(size=input_shape)
+        columns = im2col(images, 3, 3, 1, 1)
+        cotangent = rng.normal(size=columns.shape)
+        lhs = np.sum(columns * cotangent)
+        rhs = np.sum(images * col2im(cotangent, input_shape, 3, 3, 1, 1))
+        assert lhs == pytest.approx(rhs)
+
+    def test_non_overlapping_roundtrip(self, rng):
+        # With stride == kernel size the patches tile the image exactly, so
+        # col2im(im2col(x)) == x.
+        images = rng.normal(size=(2, 2, 8, 8))
+        columns = im2col(images, 2, 2, 2, 0)
+        np.testing.assert_allclose(
+            col2im(columns, images.shape, 2, 2, 2, 0), images
+        )
+
+    def test_overlap_accumulates(self):
+        images = np.ones((1, 1, 3, 3))
+        columns = im2col(images, 3, 3, 1, 1)
+        restored = col2im(columns, images.shape, 3, 3, 1, 1)
+        # The centre pixel is covered by all 9 patches, corners by 4.
+        assert restored[0, 0, 1, 1] == pytest.approx(9.0)
+        assert restored[0, 0, 0, 0] == pytest.approx(4.0)

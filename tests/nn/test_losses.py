@@ -1,0 +1,81 @@
+"""Tests for losses and softmax."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn.losses import SoftmaxCrossEntropy, softmax
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self, rng):
+        probabilities = softmax(rng.normal(size=(5, 7)))
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0)
+
+    def test_invariant_to_constant_shift(self, rng):
+        logits = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(softmax(logits), softmax(logits + 100.0))
+
+    def test_handles_large_logits(self):
+        probabilities = softmax(np.array([[1000.0, 0.0]]))
+        assert np.isfinite(probabilities).all()
+        assert probabilities[0, 0] == pytest.approx(1.0)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        hnp.arrays(np.float64, (3, 5),
+                   elements=st.floats(-50, 50, allow_nan=False))
+    )
+    def test_probabilities_valid(self, logits):
+        probabilities = softmax(logits)
+        assert np.all(probabilities >= 0.0)
+        np.testing.assert_allclose(probabilities.sum(axis=1), 1.0)
+
+
+class TestSoftmaxCrossEntropy:
+    def test_perfect_prediction_has_low_loss(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.array([[100.0, 0.0, 0.0]])
+        assert loss.forward(logits, np.array([0])) < 1e-6
+
+    def test_uniform_prediction_loss_is_log_classes(self):
+        loss = SoftmaxCrossEntropy()
+        logits = np.zeros((4, 8))
+        value = loss.forward(logits, np.array([0, 1, 2, 3]))
+        assert value == pytest.approx(np.log(8), rel=1e-6)
+
+    def test_gradient_matches_numerical(self, rng):
+        loss = SoftmaxCrossEntropy()
+        logits = rng.normal(size=(3, 4))
+        labels = np.array([1, 0, 3])
+        loss.forward(logits, labels)
+        analytic = loss.backward()
+        epsilon = 1e-6
+        for i in range(3):
+            for j in range(4):
+                perturbed = logits.copy()
+                perturbed[i, j] += epsilon
+                plus = loss.forward(perturbed, labels)
+                perturbed[i, j] -= 2 * epsilon
+                minus = loss.forward(perturbed, labels)
+                numerical = (plus - minus) / (2 * epsilon)
+                assert numerical == pytest.approx(analytic[i, j], abs=1e-5)
+
+    def test_gradient_rows_sum_to_zero(self, rng):
+        loss = SoftmaxCrossEntropy()
+        logits = rng.normal(size=(5, 6))
+        loss.forward(logits, np.array([0, 1, 2, 3, 4]))
+        np.testing.assert_allclose(loss.backward().sum(axis=1), 0.0, atol=1e-12)
+
+    def test_rejects_bad_labels(self):
+        loss = SoftmaxCrossEntropy()
+        with pytest.raises(ValueError):
+            loss.forward(np.zeros((2, 3)), np.array([0, 3]))
+        with pytest.raises(ValueError):
+            loss.forward(np.zeros((2, 3)), np.array([0]))
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            SoftmaxCrossEntropy().backward()

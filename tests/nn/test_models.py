@@ -1,0 +1,72 @@
+"""Tests for the model zoo."""
+
+import numpy as np
+import pytest
+
+from repro.nn import models
+
+
+@pytest.mark.parametrize("name", sorted(models.MODEL_BUILDERS))
+class TestAllModels:
+    def test_forward_shape(self, name, rng):
+        model = models.build_model(name, num_classes=5, input_shape=(1, 32, 32))
+        logits = model.forward(rng.normal(size=(2, 1, 32, 32)), training=False)
+        assert logits.shape == (2, 5)
+
+    def test_training_forward_and_backward(self, name, rng):
+        model = models.build_model(name, num_classes=3, input_shape=(1, 32, 32))
+        logits = model.forward(rng.normal(size=(2, 1, 32, 32)), training=True)
+        model.backward(np.ones_like(logits))
+        assert all(
+            np.isfinite(parameter.grad).all() for parameter in model.parameters()
+        )
+
+    def test_deterministic_given_seed(self, name, rng):
+        inputs = rng.normal(size=(1, 1, 32, 32))
+        first = models.build_model(name, num_classes=4, seed=3)
+        second = models.build_model(name, num_classes=4, seed=3)
+        np.testing.assert_allclose(
+            first.forward(inputs, training=False),
+            second.forward(inputs, training=False),
+        )
+
+    def test_has_trainable_parameters(self, name):
+        model = models.build_model(name, num_classes=4)
+        assert model.parameter_count() > 1000
+
+
+class TestSpecificArchitectures:
+    def test_resnet50_deeper_than_resnet34(self):
+        shallow = models.resnet34_mini()
+        deep = models.resnet50_mini()
+        assert deep.parameter_count() > shallow.parameter_count()
+
+    def test_googlenet_contains_inception_blocks(self):
+        from repro.nn.blocks import InceptionBlock
+
+        model = models.googlenet_mini()
+        assert any(isinstance(layer, InceptionBlock) for layer in model.layers)
+
+    def test_resnet_contains_residual_blocks(self):
+        from repro.nn.blocks import ResidualBlock
+
+        model = models.resnet34_mini()
+        assert any(isinstance(layer, ResidualBlock) for layer in model.layers)
+
+    def test_unknown_model_name_raises(self):
+        with pytest.raises(KeyError):
+            models.build_model("LeNet")
+
+    def test_input_size_must_support_poolings(self):
+        with pytest.raises(ValueError):
+            models.alexnet_mini(input_shape=(1, 4, 4))
+
+    def test_multichannel_input_supported(self, rng):
+        model = models.vgg_mini(num_classes=2, input_shape=(3, 32, 32))
+        logits = model.forward(rng.normal(size=(1, 3, 32, 32)), training=False)
+        assert logits.shape == (1, 2)
+
+    def test_builder_registry_matches_paper_names(self):
+        assert set(models.MODEL_BUILDERS) == {
+            "AlexNet", "VGG-16", "GoogLeNet", "ResNet-34", "ResNet-50"
+        }
