@@ -34,6 +34,30 @@ def test_grayscale_encode_only(benchmark, sample_images):
     assert len(encoded.data) > 0
 
 
+def test_grayscale_decode_only(benchmark, sample_images):
+    codec = GrayscaleJpegCodec(QuantizationTable.standard_luminance(50))
+    encoded = codec.encode(sample_images[0])
+    decoded = benchmark(codec.decode, encoded)
+    assert decoded.shape == sample_images[0].shape
+
+
+def test_grayscale_compress_batch(benchmark, sample_images):
+    """Dataset-level compression: one coder shared across all images."""
+    codec = GrayscaleJpegCodec(QuantizationTable.standard_luminance(50))
+    results = benchmark(codec.compress_batch, sample_images)
+    assert len(results) == sample_images.shape[0]
+    assert all(result.total_bytes > 0 for result in results)
+
+
+def test_dataset_compression_with_table(benchmark, sample_images):
+    """End-to-end dataset API (`compress_batch` + statistics)."""
+    from repro.core.baselines import compress_batch
+
+    table = QuantizationTable.standard_luminance(50)
+    results = benchmark(compress_batch, sample_images, table)
+    assert len(results) == sample_images.shape[0]
+
+
 def test_frequency_analysis(benchmark, sample_images):
     statistics = benchmark(analyze_images, sample_images)
     assert statistics.std.shape == (8, 8)

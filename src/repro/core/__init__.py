@@ -24,6 +24,7 @@ from repro.core.baselines import (
     JpegCompressor,
     RemoveHighFrequencyCompressor,
     SameQCompressor,
+    compress_batch,
     compress_dataset_with_table,
 )
 from repro.core.config import DeepNJpegConfig
@@ -43,5 +44,6 @@ __all__ = [
     "RemoveHighFrequencyCompressor",
     "SameQCompressor",
     "TableDesignResult",
+    "compress_batch",
     "compress_dataset_with_table",
 ]

@@ -1,14 +1,41 @@
-"""Bit-level writer and reader used by the entropy coder.
+"""Bit-level writer/reader and the vectorized bit-packing fast path.
 
 The JPEG entropy-coded segment is a stream of variable-length Huffman
-codes and raw magnitude bits.  ``BitWriter`` packs bits MSB-first into a
-``bytearray`` (with the 0xFF byte-stuffing rule applied, as in T.81
-section B.1.1.5) and ``BitReader`` unpacks them again.
+codes and raw magnitude bits.  Two implementations coexist:
+
+* ``BitWriter`` / ``BitReader`` — the scalar reference: bits are packed
+  MSB-first one value at a time (with the 0xFF byte-stuffing rule of
+  T.81 section B.1.1.5) and unpacked again bit by bit.  This path is
+  kept for parity testing and for readers of the spec.
+* :func:`pack_bits` and the window/LUT helpers — the NumPy fast path:
+  a whole stream of ``(value, length)`` pairs is packed in one pass via
+  cumulative bit offsets, ``np.packbits`` and post-hoc byte stuffing,
+  and decoding peeks 16-bit windows computed once for every bit offset
+  so a dense lookup table resolves each Huffman code in O(1).
+
+Both produce and consume bit-identical byte streams; the tests assert
+this over random streams and the stuffing/padding edge cases.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+def _build_category_lut(bits: int = 16) -> np.ndarray:
+    """``lut[v] = v.bit_length()`` for every magnitude below ``2**bits``."""
+    lut = np.zeros(1 << bits, dtype=np.int64)
+    for length in range(1, bits + 1):
+        lut[1 << (length - 1):1 << length] = length
+    return lut
+
+
+#: Dense bit-length table covering every magnitude a baseline JPEG
+#: stream can carry (categories are at most 16).
+_CATEGORY_LUT = _build_category_lut()
+
+#: ``2**category - 1`` for every magnitude below 2**16: the one's
+#: complement adjustment T.81 applies to negative values.
+_CATEGORY_MASK_LUT = (1 << _CATEGORY_LUT) - 1
 
 
 class BitWriter:
@@ -113,11 +140,39 @@ class BitReader:
 
 
 def magnitude_category(value: int) -> int:
-    """Return the JPEG size category (number of magnitude bits) of ``value``."""
-    value = int(value)
-    if value == 0:
-        return 0
-    return int(np.ceil(np.log2(abs(value) + 1)))
+    """Return the JPEG size category (number of magnitude bits) of ``value``.
+
+    Exactly ``ceil(log2(|value| + 1))``, computed with integer bit-length
+    arithmetic so large DC differences cannot hit float rounding.
+    """
+    return abs(int(value)).bit_length()
+
+
+def magnitude_category_array(values: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`magnitude_category` over an integer array.
+
+    Magnitudes below 2**16 (everything a baseline stream can code) come
+    from a dense bit-length table; anything larger falls back to
+    bit-smearing plus a population count.  Both are exact integer
+    arithmetic, unlike ``ceil(log2(...))`` in floating point.
+    """
+    magnitudes = np.abs(np.asarray(values, dtype=np.int64))
+    if magnitudes.shape[0] == 0 or int(magnitudes.max()) < (1 << 16):
+        return _CATEGORY_LUT[magnitudes]
+    smeared = magnitudes.astype(np.uint64)
+    smeared |= smeared >> np.uint64(1)
+    smeared |= smeared >> np.uint64(2)
+    smeared |= smeared >> np.uint64(4)
+    smeared |= smeared >> np.uint64(8)
+    smeared |= smeared >> np.uint64(16)
+    smeared |= smeared >> np.uint64(32)
+    if hasattr(np, "bitwise_count"):  # NumPy >= 2.0
+        return np.bitwise_count(smeared).astype(np.int64)
+    # Smearing makes the value 2**k - 1, so k is the float exponent of
+    # value + 1 — a power of two, exactly representable in float64.
+    return (
+        np.frexp(smeared.astype(np.float64) + 1.0)[1].astype(np.int64) - 1
+    )
 
 
 def encode_magnitude(value: int) -> "tuple[int, int]":
@@ -134,6 +189,14 @@ def encode_magnitude(value: int) -> "tuple[int, int]":
     return int(value + (1 << category) - 1), category
 
 
+def encode_magnitude_array(values: np.ndarray) -> "tuple[np.ndarray, np.ndarray]":
+    """Vectorized :func:`encode_magnitude`: returns ``(bits, lengths)`` arrays."""
+    values = np.asarray(values, dtype=np.int64)
+    lengths = magnitude_category_array(values)
+    bits = np.where(values >= 0, values, values + (1 << lengths) - 1)
+    return bits, lengths
+
+
 def decode_magnitude(bits: int, category: int) -> int:
     """Invert :func:`encode_magnitude` given the raw bits and category."""
     if category == 0:
@@ -141,3 +204,83 @@ def decode_magnitude(bits: int, category: int) -> int:
     if bits >> (category - 1):
         return int(bits)
     return int(bits - (1 << category) + 1)
+
+
+def stuff_byte_array(data: np.ndarray) -> np.ndarray:
+    """Insert a 0x00 after every 0xFF byte (T.81 B.1.1.5), vectorized."""
+    data = np.asarray(data, dtype=np.uint8)
+    is_ff = data == 0xFF
+    if not is_ff.any():
+        return data
+    # Each byte lands after all the stuffed zeros of the 0xFFs before it;
+    # the gaps left in the zero-initialised output are the stuffed bytes.
+    inclusive = np.cumsum(is_ff)
+    out = np.zeros(data.shape[0] + int(inclusive[-1]), dtype=np.uint8)
+    out[np.arange(data.shape[0]) + inclusive - is_ff] = data
+    return out
+
+
+def destuff_bytes(data: bytes) -> bytes:
+    """Remove the 0x00 stuffed after every 0xFF byte."""
+    return bytes(data).replace(b"\xff\x00", b"\xff")
+
+
+def pack_bits(
+    values: np.ndarray, lengths: np.ndarray, byte_stuffing: bool = True
+) -> bytes:
+    """Pack a stream of ``(value, length)`` pairs into a JPEG byte stream.
+
+    The vectorized equivalent of writing every pair through
+    :class:`BitWriter`: bits are concatenated MSB-first, the final
+    partial byte is padded with 1-bits and 0xFF bytes are stuffed.
+    Zero-length entries contribute nothing, as in the scalar writer.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    if lengths.shape[0] == 0:
+        return b""
+    ends = np.cumsum(lengths)
+    total_bits = int(ends[-1])
+    if total_bits == 0:
+        return b""
+    pad = (-total_bits) % 8
+    token_index = np.repeat(np.arange(lengths.shape[0]), lengths)
+    # Stream position p inside token i carries bit (ends[i] - 1 - p) of
+    # the token's value, i.e. MSB first.
+    shifts = ends[token_index] - np.arange(1, total_bits + 1)
+    raw_bits = (values[token_index] >> shifts) & 1
+    if pad:
+        # The final partial byte is padded with 1-bits, as the scalar
+        # writer does on flush.
+        bits = np.ones(total_bits + pad, dtype=np.uint8)
+        bits[:total_bits] = raw_bits
+    else:
+        bits = raw_bits.astype(np.uint8)
+    data = np.packbits(bits)
+    if byte_stuffing:
+        data = stuff_byte_array(data)
+    return data.tobytes()
+
+
+def peek_words(data: bytes, byte_stuffing: bool = True) -> "tuple[list, int]":
+    """Return 64-bit big-endian peek words for every byte of a stream.
+
+    ``words[i]`` holds bytes ``i .. i+7`` of the (destuffed) payload,
+    padded past the end with 1-bits, so the 32 bits starting at any bit
+    offset ``p`` are ``(words[p >> 3] >> (32 - (p & 7))) & 0xFFFFFFFF``
+    — one table-driven Huffman resolution plus its magnitude bits per
+    peek, with no bit-at-a-time reads.  Returned as a plain Python list
+    because the decode walk indexes it with Python ints.  The second
+    element is the number of real payload bits.
+    """
+    if byte_stuffing:
+        data = destuff_bytes(data)
+    count = len(data)
+    extended = np.empty(count + 8, dtype=np.uint8)
+    extended[:count] = np.frombuffer(data, dtype=np.uint8)
+    extended[count:] = 0xFF
+    words = extended[:count + 1].astype(np.uint64)
+    for offset in range(1, 8):
+        words <<= np.uint64(8)
+        words |= extended[offset:count + 1 + offset]
+    return words.tolist(), count * 8

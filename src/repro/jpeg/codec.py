@@ -11,6 +11,19 @@ Two codecs are provided:
 Both produce a real entropy-coded byte stream (so compressed sizes and
 compression ratios are measured, not estimated), and both can decode it
 back for accuracy-after-compression experiments.
+
+Entropy coding runs on a NumPy-vectorized fast path: the whole block
+stack is tokenized at once (:func:`repro.jpeg.rle.tokenize_blocks`),
+Huffman codes are assigned with dense lookup arrays and the bit stream
+is packed in one pass (:func:`repro.jpeg.bitstream.pack_bits`).
+Decoding resolves Huffman codes against precomputed 16-bit windows and
+a dense LUT instead of walking the stream bit by bit.  The scalar
+reference implementations are kept as ``encode_scalar`` /
+``decode_scalar`` and the tests assert both paths produce bit-identical
+streams.  ``compress`` additionally skips the redundant entropy decode
+of the round trip: the reconstruction is computed directly from the
+quantized coefficients, which is exactly what decoding the (lossless)
+entropy layer would return.
 """
 
 from __future__ import annotations
@@ -20,26 +33,32 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.jpeg import color as color_mod
-from repro.jpeg.bitstream import BitReader, BitWriter, decode_magnitude
-from repro.jpeg.blocks import (
-    assemble_blocks,
-    inverse_level_shift,
-    level_shift,
-    partition_blocks,
+from repro.jpeg.bitstream import (
+    _CATEGORY_LUT,
+    _CATEGORY_MASK_LUT,
+    BitReader,
+    BitWriter,
+    decode_magnitude,
+    pack_bits,
+    peek_words,
 )
-from repro.jpeg.dct import block_dct2d, block_idct2d
+from repro.jpeg.blocks import level_shift
+from repro.jpeg.dct import _DCT8, _DCT8_T
 from repro.jpeg.huffman import HuffmanTable
 from repro.jpeg.metrics import compression_ratio, psnr
 from repro.jpeg.quantization import QuantizationTable
 from repro.jpeg.rle import (
+    DC_SYMBOL_OFFSET,
     EOB_SYMBOL,
     MAX_ZERO_RUN,
     ZRL_SYMBOL,
+    block_run_stats,
     block_symbol_histograms,
     encode_ac,
     encode_dc,
+    tokenize_blocks,
 )
-from repro.jpeg.zigzag import inverse_zigzag, zigzag
+from repro.jpeg.zigzag import INVERSE_ZIGZAG_ORDER, ZIGZAG_ORDER
 
 # Fixed marker-segment overheads of a baseline JFIF file (bytes).
 _SOI_BYTES = 2
@@ -96,12 +115,20 @@ class CompressionResult:
 
 @dataclass
 class EncodedChannel:
-    """Entropy-coded representation of one channel."""
+    """Entropy-coded representation of one channel.
+
+    When the stream was coded with per-image optimized Huffman tables,
+    ``dc_huffman``/``ac_huffman`` carry those tables so the stream can be
+    decoded without out-of-band knowledge (mirroring the DHT segments a
+    real JPEG file would embed).  ``None`` means the standard tables.
+    """
 
     data: bytes
     grid_shape: tuple
     channel_shape: tuple
     block_count: int
+    dc_huffman: HuffmanTable = None
+    ac_huffman: HuffmanTable = None
 
 
 class _ChannelCoder:
@@ -116,16 +143,354 @@ class _ChannelCoder:
         self.table = table
         self.dc_huffman = dc_huffman
         self.ac_huffman = ac_huffman
+        # Quantization steps in zig-zag order: quantizing after the
+        # zig-zag gather is elementwise-identical to quantizing before
+        # it, and saves a pass over the (N, 8, 8) stack.
+        self._zz_steps = np.asarray(table.values, dtype=np.float64).reshape(
+            64
+        )[ZIGZAG_ORDER].copy()
+        # One dense code table over the combined DC/AC symbol space of
+        # the token stream (AC at 0–255, DC at 256–511), so a mixed
+        # stream is coded with two fancy-indexing gathers.
+        ac_codes, ac_lengths = ac_huffman.encode_arrays()
+        dc_codes, dc_lengths = dc_huffman.encode_arrays()
+        self._codes = np.concatenate([ac_codes, dc_codes])
+        self._code_lengths = np.concatenate([ac_lengths, dc_lengths])
+        # Constants of the fused fast path: the EOB code and a table of
+        # 0–3 repetitions of the ZRL code (63 AC slots never need more).
+        self._eob_code = int(ac_codes[EOB_SYMBOL])
+        self._eob_length = int(ac_lengths[EOB_SYMBOL])
+        zrl_code = int(ac_codes[ZRL_SYMBOL])
+        zrl_length = int(ac_lengths[ZRL_SYMBOL])
+        chain = [0]
+        for _ in range(3):
+            chain.append((chain[-1] << zrl_length) | zrl_code)
+        self._zrl_chain_codes = np.asarray(chain, dtype=np.int64)
+        self._zrl_chain_lengths = np.arange(4, dtype=np.int64) * zrl_length
+        # Pre-fused lookup tables: entry values already carry the Huffman
+        # code shifted left by the magnitude category, so coding a token
+        # is one gather plus an OR with its magnitude bits.  A length of
+        # 0 marks a symbol absent from the table.
+        categories = np.arange(17, dtype=np.int64)
+        self._dc_fused_codes = dc_codes[:17] << categories
+        self._dc_fused_lengths = np.where(
+            dc_lengths[:17] > 0, dc_lengths[:17] + categories, 0
+        )
+        ac_cat = np.arange(256, dtype=np.int64) & 0x0F
+        self._ac_fused_codes = ac_codes << ac_cat
+        self._ac_fused_lengths = np.where(
+            ac_lengths > 0, ac_lengths + ac_cat, 0
+        )
+        # Static worst case of a fused AC entry ([ZRL]*3 + code +
+        # magnitude bits); when it fits 63 bits no per-call overflow
+        # check is needed.  Degenerate optimized tables missing ZRL/EOB
+        # route through the general path.
+        ac_worst = int(self._ac_fused_lengths.max())
+        self._max_fused_bits = 3 * zrl_length + ac_worst
+        self._fast_tables = zrl_length > 0 and self._eob_length > 0
+
+    def quantized_batch(self, images: np.ndarray) -> tuple:
+        """Zig-zag quantized blocks of an ``(N, H, W)`` stack.
+
+        Inlined equivalent of partition → DCT → quantize → zig-zag, with
+        the quantization performed after the zig-zag gather (elementwise,
+        so bit-identical) and the 8x8 blocking done with views.  Returns
+        ``(zz_blocks, grid_shape)``, where blocks of image ``i`` occupy
+        the contiguous range ``[i * rows * cols, (i + 1) * rows * cols)``.
+        The single shared quantization pipeline behind both the
+        per-image and the batch paths.
+        """
+        blocks, (rows, cols) = _blocked_view(level_shift(images))
+        coefficients = (_DCT8 @ blocks) @ _DCT8_T
+        flat = coefficients.reshape(images.shape[0] * rows * cols, 64)
+        zz = np.rint(flat[:, ZIGZAG_ORDER] / self._zz_steps).astype(np.int64)
+        return zz, (rows, cols)
 
     def quantized_blocks(self, channel: np.ndarray) -> tuple:
         """Return (zig-zag quantized blocks ``(N, 64)``, grid shape)."""
-        blocks, grid_shape = partition_blocks(level_shift(channel))
-        coefficients = block_dct2d(blocks)
-        quantized = self.table.quantize(coefficients)
-        return zigzag(quantized), grid_shape
+        return self.quantized_batch(
+            np.asarray(channel, dtype=np.float64)[np.newaxis]
+        )
+
+    def reconstruct_batch(
+        self, zz_blocks: np.ndarray, count: int, grid_shape: tuple,
+        image_shape: tuple,
+    ) -> np.ndarray:
+        """``(N, H, W)`` images from a batch of zig-zag quantized blocks."""
+        rows, cols = grid_shape
+        height, width = image_shape
+        dequantized = (zz_blocks * self._zz_steps)[:, INVERSE_ZIGZAG_ORDER]
+        coefficients = dequantized.reshape(count, rows, cols, 8, 8)
+        blocks = (_DCT8_T @ coefficients) @ _DCT8
+        channels = (
+            blocks.transpose(0, 1, 3, 2, 4).reshape(count, rows * 8, cols * 8)
+        )
+        pixels = channels[:, :height, :width] + 128.0
+        return np.clip(pixels, 0.0, 255.0, out=pixels)
+
+    def reconstruct(
+        self, zz_blocks: np.ndarray, grid_shape: tuple, channel_shape: tuple
+    ) -> np.ndarray:
+        """Pixel channel from zig-zag quantized blocks (inverse pipeline)."""
+        return self.reconstruct_batch(
+            zz_blocks, 1, grid_shape, channel_shape
+        )[0]
+
+    # ------------------------------------------------------------------
+    # Vectorized fast path
+    # ------------------------------------------------------------------
+
+    def entropy_code(
+        self, zz_blocks: np.ndarray, reset_interval: int = 0
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """Huffman-code a block stack into packable ``(values, lengths)``.
+
+        Returns parallel ``(values, lengths)`` arrays ready for
+        :func:`~repro.jpeg.bitstream.pack_bits`, plus the number of
+        entries contributed by each block (for batch splitting).  The
+        fused fast path emits ONE entry per coded unit — a DC entry
+        fuses Huffman code and magnitude bits; a nonzero-AC entry
+        additionally fuses its preceding ZRL escapes — which keeps the
+        arrays small and avoids scattering per-token records.  Inputs
+        that could overflow the 63-bit fusion budget (or need symbols a
+        degenerate optimized table lacks) fall back to the general
+        token-stream path; both produce identical bit streams.
+        """
+        zz = np.asarray(zz_blocks, dtype=np.int64)
+        if zz.ndim != 2 or zz.shape[1] != 64:
+            raise ValueError(
+                f"expected blocks of shape (N, 64), got {zz.shape}"
+            )
+        n_blocks = zz.shape[0]
+        if n_blocks == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty.copy(), empty.copy()
+        if not self._fast_tables or self._max_fused_bits > 63:
+            return self._entropy_code_general(zz, reset_interval)
+
+        diffs, ac, rows, cols, ac_values, zrl_counts, runs, has_eob = (
+            block_run_stats(zz, reset_interval)
+        )
+        n_nonzero = rows.shape[0]
+
+        # One fused magnitude pass over DC diffs and AC values.
+        magnitudes = np.concatenate([diffs, ac_values])
+        absolutes = np.abs(magnitudes)
+        try:
+            categories = _CATEGORY_LUT[absolutes]
+        except IndexError:
+            # Some magnitude needs more than 16 bits; no baseline table
+            # can code it.  The general path raises the right error
+            # (ValueError for an AC category > 15, KeyError for a DC
+            # category the table lacks).
+            return self._entropy_code_general(zz, reset_interval)
+        # T.81 one's complement: negatives add (2**category - 1); the
+        # arithmetic sign mask replaces a `np.where` over two branches.
+        amplitude_bits = magnitudes + (
+            (magnitudes >> 63) & _CATEGORY_MASK_LUT[absolutes]
+        )
+
+        dc_categories = categories[:n_blocks]
+        dc_lengths = self._dc_fused_lengths[dc_categories]
+        if not dc_lengths.all():
+            return self._entropy_code_general(zz, reset_interval)
+        dc_values = self._dc_fused_codes[dc_categories] | amplitude_bits[
+            :n_blocks
+        ]
+
+        if n_nonzero:
+            symbols = ((runs & MAX_ZERO_RUN) << 4) | categories[n_blocks:]
+            coded_lengths = self._ac_fused_lengths[symbols]
+            if not coded_lengths.all():
+                return self._entropy_code_general(zz, reset_interval)
+            # Fuse [ZRL]*k + code + magnitude into one entry.
+            coded = self._ac_fused_codes[symbols] | amplitude_bits[n_blocks:]
+            ac_values = (
+                self._zrl_chain_codes[zrl_counts] << coded_lengths
+            ) | coded
+            ac_lengths = self._zrl_chain_lengths[zrl_counts] + coded_lengths
+            nonzeros_per_block = np.bincount(rows, minlength=n_blocks)
+        else:
+            nonzeros_per_block = np.zeros(n_blocks, dtype=np.int64)
+
+        entries_per_block = nonzeros_per_block + 1
+        entries_per_block += has_eob
+        block_ends = np.cumsum(entries_per_block)
+        block_starts = block_ends - entries_per_block
+        total = int(block_ends[-1])
+
+        buffer = np.empty((2, total), dtype=np.int64)
+        values = buffer[0]
+        lengths = buffer[1]
+        values[block_starts] = dc_values
+        lengths[block_starts] = dc_lengths
+        if n_nonzero:
+            first_nonzero_of_block = np.empty(n_blocks, dtype=np.int64)
+            first_nonzero_of_block[0] = 0
+            np.cumsum(
+                nonzeros_per_block[:-1], out=first_nonzero_of_block[1:]
+            )
+            offsets = block_starts + 1
+            offsets -= first_nonzero_of_block
+            positions = offsets[rows] + np.arange(n_nonzero)
+            values[positions] = ac_values
+            lengths[positions] = ac_lengths
+        eob_positions = block_ends[has_eob] - 1
+        values[eob_positions] = self._eob_code
+        lengths[eob_positions] = self._eob_length
+        return values, lengths, entries_per_block
+
+    def _entropy_code_general(
+        self, zz_blocks: np.ndarray, reset_interval: int = 0
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+        """Token-stream reference: one packable entry per token."""
+        stream = tokenize_blocks(zz_blocks, reset_interval=reset_interval)
+        symbols = stream.symbols
+        codes = self._codes[symbols]
+        code_lengths = self._code_lengths[symbols]
+        if symbols.shape[0] and not code_lengths.all():
+            missing = int(symbols[code_lengths == 0][0])
+            table = (
+                self.dc_huffman if missing >= DC_SYMBOL_OFFSET
+                else self.ac_huffman
+            )
+            raise KeyError(
+                f"symbol {missing % DC_SYMBOL_OFFSET:#x} not present in "
+                f"Huffman table '{table.name}'"
+            )
+        values = (codes << stream.amplitude_lengths) | stream.amplitudes
+        lengths = code_lengths + stream.amplitude_lengths
+        return values, lengths, stream.block_token_counts
+
+    def encode_quantized(self, zz_blocks: np.ndarray) -> bytes:
+        """Entropy-code pre-quantized zig-zag blocks into a byte stream."""
+        values, lengths, _ = self.entropy_code(zz_blocks)
+        return pack_bits(values, lengths)
 
     def encode(self, channel: np.ndarray) -> EncodedChannel:
-        """Entropy-code one channel into bytes."""
+        """Entropy-code one channel into bytes (vectorized fast path)."""
+        zz_blocks, grid_shape = self.quantized_blocks(channel)
+        return EncodedChannel(
+            data=self.encode_quantized(zz_blocks),
+            grid_shape=grid_shape,
+            channel_shape=(channel.shape[0], channel.shape[1]),
+            block_count=zz_blocks.shape[0],
+        )
+
+    def decode_to_zigzag(self, data: bytes, block_count: int) -> np.ndarray:
+        """Entropy-decode a byte stream into ``(block_count, 64)`` blocks.
+
+        Table-driven: Huffman codes are resolved in O(1) against 16-bit
+        peek windows precomputed for every bit offset of the destuffed
+        payload, instead of probing the code map bit by bit.
+        """
+        words, total_bits = peek_words(data)
+        dc_symbols, dc_lengths = self.dc_huffman.decode_lut()
+        ac_symbols, ac_lengths = self.ac_huffman.decode_lut()
+        zz_blocks = np.zeros((block_count, 64), dtype=np.int32)
+        try:
+            self._decode_walk(
+                words, total_bits, zz_blocks, block_count,
+                dc_symbols, dc_lengths, ac_symbols, ac_lengths,
+            )
+        except IndexError:
+            # A code decoded from padding bits of a truncated stream can
+            # push the cursor past the peek-word list.
+            raise EOFError("bit stream exhausted") from None
+        return zz_blocks
+
+    def _decode_walk(
+        self, words, total_bits, zz_blocks, block_count,
+        dc_symbols, dc_lengths, ac_symbols, ac_lengths,
+    ) -> None:
+        position = 0
+        previous_dc = 0
+        for block_index in range(block_count):
+            if position > total_bits:
+                raise EOFError("bit stream exhausted")
+            # 32 bits starting at `position`: enough for the longest
+            # Huffman code (16) plus its magnitude bits (16).
+            peek = (words[position >> 3] >> (32 - (position & 7))) & 0xFFFFFFFF
+            window = peek >> 16
+            category = dc_symbols[window]
+            if category < 0:
+                if position + 16 > total_bits:
+                    raise EOFError("bit stream exhausted")
+                raise ValueError(
+                    f"invalid Huffman code in table '{self.dc_huffman.name}'"
+                )
+            if category:
+                length = dc_lengths[window]
+                amplitude = (peek >> (32 - length - category)) & (
+                    (1 << category) - 1
+                )
+                position += length + category
+                if amplitude >> (category - 1):
+                    previous_dc += amplitude
+                else:
+                    previous_dc += amplitude - (1 << category) + 1
+            else:
+                position += dc_lengths[window]
+            zz_blocks[block_index, 0] = previous_dc
+            index = 1
+            while index < 64:
+                peek = (
+                    words[position >> 3] >> (32 - (position & 7))
+                ) & 0xFFFFFFFF
+                window = peek >> 16
+                symbol = ac_symbols[window]
+                length = ac_lengths[window]
+                position += length
+                if symbol == EOB_SYMBOL:
+                    break
+                if symbol == ZRL_SYMBOL:
+                    index += MAX_ZERO_RUN + 1
+                    continue
+                if symbol < 0:
+                    # A code window that spills past the payload means
+                    # the stream was cut short, not that the table is bad.
+                    if position - length + 16 > total_bits:
+                        raise EOFError("bit stream exhausted")
+                    raise ValueError(
+                        "invalid Huffman code in table "
+                        f"'{self.ac_huffman.name}'"
+                    )
+                index += symbol >> 4
+                if index >= 64:
+                    raise ValueError(
+                        "AC stream overruns block during decode"
+                    )
+                category = symbol & 0x0F
+                amplitude = (peek >> (32 - length - category)) & (
+                    (1 << category) - 1
+                )
+                position += category
+                if amplitude >> (category - 1):
+                    zz_blocks[block_index, index] = amplitude
+                else:
+                    zz_blocks[block_index, index] = (
+                        amplitude - (1 << category) + 1
+                    )
+                index += 1
+        # A valid decode never reads past the payload: the final token
+        # ends at or before the last real bit (the remainder of the
+        # closing byte is padding).  Any overrun means truncation.
+        if position > total_bits:
+            raise EOFError("bit stream exhausted")
+
+    def decode(self, encoded: EncodedChannel) -> np.ndarray:
+        """Decode an :class:`EncodedChannel` back into a pixel channel."""
+        zz_blocks = self.decode_to_zigzag(encoded.data, encoded.block_count)
+        return self.reconstruct(
+            zz_blocks, encoded.grid_shape, encoded.channel_shape
+        )
+
+    # ------------------------------------------------------------------
+    # Scalar reference path (kept for parity testing)
+    # ------------------------------------------------------------------
+
+    def encode_scalar(self, channel: np.ndarray) -> EncodedChannel:
+        """Reference encoder: one token at a time through a BitWriter."""
         zz_blocks, grid_shape = self.quantized_blocks(channel)
         writer = BitWriter()
         previous_dc = 0
@@ -144,8 +509,8 @@ class _ChannelCoder:
             block_count=zz_blocks.shape[0],
         )
 
-    def decode(self, encoded: EncodedChannel) -> np.ndarray:
-        """Decode an :class:`EncodedChannel` back into a pixel channel."""
+    def decode_scalar(self, encoded: EncodedChannel) -> np.ndarray:
+        """Reference decoder: bit-at-a-time through a BitReader."""
         reader = BitReader(encoded.data)
         zz_blocks = np.zeros((encoded.block_count, 64), dtype=np.int32)
         previous_dc = 0
@@ -172,13 +537,9 @@ class _ChannelCoder:
                     bits, category
                 )
                 position += 1
-        quantized = inverse_zigzag(zz_blocks)
-        coefficients = self.table.dequantize(quantized)
-        blocks = block_idct2d(coefficients)
-        channel = assemble_blocks(
-            blocks, encoded.grid_shape, encoded.channel_shape
+        return self.reconstruct(
+            zz_blocks, encoded.grid_shape, encoded.channel_shape
         )
-        return inverse_level_shift(channel)
 
 
 class GrayscaleJpegCodec:
@@ -202,53 +563,134 @@ class GrayscaleJpegCodec:
         self.optimize_huffman = bool(optimize_huffman)
         self._standard_dc = HuffmanTable.standard_dc_luminance()
         self._standard_ac = HuffmanTable.standard_ac_luminance()
+        self._cached_coder = _ChannelCoder(
+            table, self._standard_dc, self._standard_ac
+        )
+        self._standard_header = None
 
-    def _coder_for(self, channel: np.ndarray) -> _ChannelCoder:
-        if not self.optimize_huffman:
-            return _ChannelCoder(self.table, self._standard_dc, self._standard_ac)
-        base = _ChannelCoder(self.table, self._standard_dc, self._standard_ac)
-        zz_blocks, _ = base.quantized_blocks(channel)
-        dc_counts, ac_counts = block_symbol_histograms(zz_blocks)
-        dc_table = HuffmanTable.from_frequencies(dc_counts, "dc-optimized")
-        ac_table = HuffmanTable.from_frequencies(ac_counts, "ac-optimized")
-        return _ChannelCoder(self.table, dc_table, ac_table)
+    def _standard_coder(self) -> _ChannelCoder:
+        return self._cached_coder
+
+    def _optimized_coder(self, zz_blocks: np.ndarray) -> _ChannelCoder:
+        return _optimized_channel_coder(self.table, zz_blocks)
 
     def encode(self, image: np.ndarray) -> EncodedChannel:
-        """Entropy-code a 2-D image; returns the encoded channel."""
+        """Entropy-code a 2-D image; returns the encoded channel.
+
+        With ``optimize_huffman`` the per-image tables ride along on the
+        returned :class:`EncodedChannel` so :meth:`decode` can invert the
+        stream without out-of-band state.
+        """
         image = _require_grayscale(image)
-        return self._coder_for(image).encode(image)
+        coder = self._standard_coder()
+        zz_blocks, grid_shape = coder.quantized_blocks(image)
+        if self.optimize_huffman:
+            coder = self._optimized_coder(zz_blocks)
+        return EncodedChannel(
+            data=coder.encode_quantized(zz_blocks),
+            grid_shape=grid_shape,
+            channel_shape=(image.shape[0], image.shape[1]),
+            block_count=zz_blocks.shape[0],
+            dc_huffman=coder.dc_huffman if self.optimize_huffman else None,
+            ac_huffman=coder.ac_huffman if self.optimize_huffman else None,
+        )
 
     def decode(self, encoded: EncodedChannel) -> np.ndarray:
         """Decode an image previously produced by :meth:`encode`."""
-        return _ChannelCoder(
-            self.table, self._standard_dc, self._standard_ac
-        ).decode(encoded) if not self.optimize_huffman else self._decode_optimized(encoded)
-
-    def _decode_optimized(self, encoded: EncodedChannel) -> np.ndarray:
-        raise NotImplementedError(
-            "decoding with per-image optimized tables requires keeping the "
-            "tables alongside the EncodedChannel; use compress() for "
-            "round-trip measurements"
-        )
+        if encoded.dc_huffman is None and encoded.ac_huffman is None:
+            return self._cached_coder.decode(encoded)
+        dc_table = encoded.dc_huffman or self._standard_dc
+        ac_table = encoded.ac_huffman or self._standard_ac
+        return _ChannelCoder(self.table, dc_table, ac_table).decode(encoded)
 
     def compress(self, image: np.ndarray) -> CompressionResult:
-        """Round-trip one image and report sizes and the reconstruction."""
+        """Round-trip one image and report sizes and the reconstruction.
+
+        The reconstruction is computed directly from the quantized
+        coefficients: the entropy layer is lossless, so decoding the
+        just-encoded stream would yield exactly the same blocks (the
+        tests assert this equivalence against :meth:`decode`).
+        """
         image = _require_grayscale(image)
-        coder = self._coder_for(image)
-        encoded = coder.encode(image)
-        reconstructed = coder.decode(encoded)
-        header = self.header_bytes(coder)
+        coder = self._standard_coder()
+        zz_blocks, grid_shape = coder.quantized_blocks(image)
+        if self.optimize_huffman:
+            coder = self._optimized_coder(zz_blocks)
+            header = self.header_bytes(coder)
+        else:
+            header = self._cached_header_bytes()
+        data = coder.encode_quantized(zz_blocks)
+        reconstructed = coder.reconstruct(
+            zz_blocks, grid_shape, (image.shape[0], image.shape[1])
+        )
         return CompressionResult(
-            payload_bytes=len(encoded.data),
+            payload_bytes=len(data),
             header_bytes=header,
             original_bytes=int(image.shape[0] * image.shape[1]),
             reconstructed=reconstructed,
         )
 
+    def _cached_header_bytes(self) -> int:
+        if self._standard_header is None:
+            self._standard_header = self.header_bytes(self._standard_coder())
+        return self._standard_header
+
+    def compress_batch(self, images: np.ndarray) -> "list[CompressionResult]":
+        """Round-trip a stack of same-shaped images ``(N, H, W)`` at once.
+
+        One coder and one set of Huffman tables are shared across the
+        whole batch; blocking, DCT, quantization, tokenization and
+        Huffman code assignment each run as a single vectorized pass
+        over every block of every image.  Per-image byte streams are
+        identical to what :meth:`compress` produces image by image.
+        With ``optimize_huffman`` (per-image tables by definition) this
+        falls back to the per-image path.
+        """
+        images = np.asarray(images, dtype=np.float64)
+        if images.ndim != 3:
+            raise ValueError(
+                f"expected an (N, H, W) image stack, got shape {images.shape}"
+            )
+        if self.optimize_huffman:
+            return [self.compress(image) for image in images]
+        count, height, width = images.shape
+        coder = self._standard_coder()
+        zz_blocks, grid_shape = coder.quantized_batch(images)
+        blocks_per_image = grid_shape[0] * grid_shape[1]
+        values, lengths, block_tokens = coder.entropy_code(
+            zz_blocks, reset_interval=blocks_per_image
+        )
+        tokens_per_image = np.add.reduceat(
+            block_tokens, np.arange(0, count * blocks_per_image,
+                                    blocks_per_image),
+        )
+        boundaries = np.concatenate(
+            [[0], np.cumsum(tokens_per_image)]
+        ).astype(np.int64)
+        reconstructed = coder.reconstruct_batch(
+            zz_blocks, count, grid_shape, (height, width)
+        )
+        header = self._cached_header_bytes()
+        results = []
+        for index in range(count):
+            data = pack_bits(
+                values[boundaries[index]:boundaries[index + 1]],
+                lengths[boundaries[index]:boundaries[index + 1]],
+            )
+            results.append(
+                CompressionResult(
+                    payload_bytes=len(data),
+                    header_bytes=header,
+                    original_bytes=int(height * width),
+                    reconstructed=reconstructed[index],
+                )
+            )
+        return results
+
     def header_bytes(self, coder: _ChannelCoder = None) -> int:
         """Marker-segment overhead of a single-component baseline file."""
         if coder is None:
-            coder = _ChannelCoder(self.table, self._standard_dc, self._standard_ac)
+            coder = self._standard_coder()
         dht = (
             2 * _DHT_FIXED_BYTES
             + coder.dc_huffman.header_cost_bytes()
@@ -297,27 +739,23 @@ class ColorJpegCodec:
         self._ac_luma = HuffmanTable.standard_ac_luminance()
         self._dc_chroma = HuffmanTable.standard_dc_chrominance()
         self._ac_chroma = HuffmanTable.standard_ac_chrominance()
+        # Standard-table coders shared by every compress call (Cb and Cr
+        # use the same coder; coders are stateless across images).
+        luma_coder = _ChannelCoder(self.luma_table, self._dc_luma, self._ac_luma)
+        chroma_coder = _ChannelCoder(
+            self.chroma_table, self._dc_chroma, self._ac_chroma
+        )
+        self._plane_coders = [luma_coder, chroma_coder, chroma_coder]
 
-    def _coders(self, planes: "list[np.ndarray]") -> "list[_ChannelCoder]":
-        tables = [self.luma_table, self.chroma_table, self.chroma_table]
-        huffmans = [
-            (self._dc_luma, self._ac_luma),
-            (self._dc_chroma, self._ac_chroma),
-            (self._dc_chroma, self._ac_chroma),
-        ]
-        coders = []
-        for plane, table, (dc_table, ac_table) in zip(planes, tables, huffmans):
-            if self.optimize_huffman:
-                base = _ChannelCoder(table, dc_table, ac_table)
-                zz_blocks, _ = base.quantized_blocks(plane)
-                dc_counts, ac_counts = block_symbol_histograms(zz_blocks)
-                dc_table = HuffmanTable.from_frequencies(dc_counts, "dc-optimized")
-                ac_table = HuffmanTable.from_frequencies(ac_counts, "ac-optimized")
-            coders.append(_ChannelCoder(table, dc_table, ac_table))
-        return coders
 
     def compress(self, image: np.ndarray) -> CompressionResult:
-        """Round-trip one RGB image and report sizes and the reconstruction."""
+        """Round-trip one RGB image and report sizes and the reconstruction.
+
+        Like :meth:`GrayscaleJpegCodec.compress`, each plane's
+        reconstruction comes straight from its quantized coefficients
+        (the entropy layer is lossless), so the stream is encoded but
+        not redundantly decoded.
+        """
         image = _require_rgb(image)
         height, width, _ = image.shape
         ycbcr = color_mod.rgb_to_ycbcr(image)
@@ -328,13 +766,20 @@ class ColorJpegCodec:
         else:
             planes.append(ycbcr[..., 1])
             planes.append(ycbcr[..., 2])
-        coders = self._coders(planes)
+        coders = []
         payload = 0
         decoded_planes = []
-        for plane, coder in zip(planes, coders):
-            encoded = coder.encode(plane)
-            payload += len(encoded.data)
-            decoded_planes.append(coder.decode(encoded))
+        for plane, coder in zip(planes, self._plane_coders):
+            zz_blocks, grid_shape = coder.quantized_blocks(plane)
+            if self.optimize_huffman:
+                coder = _optimized_channel_coder(coder.table, zz_blocks)
+            coders.append(coder)
+            payload += len(coder.encode_quantized(zz_blocks))
+            decoded_planes.append(
+                coder.reconstruct(
+                    zz_blocks, grid_shape, (plane.shape[0], plane.shape[1])
+                )
+            )
         luma = decoded_planes[0]
         if self.subsample_chroma:
             cb = color_mod.upsample_420(decoded_planes[1], (height, width))
@@ -349,16 +794,30 @@ class ColorJpegCodec:
             reconstructed=reconstructed,
         )
 
+    def compress_batch(self, images: np.ndarray) -> "list[CompressionResult]":
+        """Round-trip a stack of same-shaped RGB images ``(N, H, W, 3)``.
+
+        Shares one codec (and, without ``optimize_huffman``, one set of
+        Huffman tables) across the batch.  The colour path keeps a
+        per-image loop — chroma subsampling makes plane shapes differ
+        from luma — but every image still runs on the vectorized coder.
+        """
+        images = np.asarray(images, dtype=np.float64)
+        if images.ndim != 4 or images.shape[-1] != 3:
+            raise ValueError(
+                f"expected an (N, H, W, 3) image stack, got {images.shape}"
+            )
+        return [self.compress(image) for image in images]
+
     def header_bytes(self, coders: "list[_ChannelCoder]" = None) -> int:
         """Marker-segment overhead of a three-component baseline file."""
         if coders is None:
-            coders = self._coders(
-                [np.zeros((8, 8))] * 3
-            ) if not self.optimize_huffman else None
-        if coders is None:
-            raise ValueError(
-                "optimized Huffman header size depends on the image; pass coders"
-            )
+            if self.optimize_huffman:
+                raise ValueError(
+                    "optimized Huffman header size depends on the image; "
+                    "pass coders"
+                )
+            coders = self._plane_coders
         unique_tables = {id(self.luma_table), id(self.chroma_table)}
         dht = 0
         seen = set()
@@ -379,6 +838,39 @@ class ColorJpegCodec:
             + 3 * _SOS_PER_COMPONENT_BYTES
             + _EOI_BYTES
         )
+
+
+def _optimized_channel_coder(
+    table: QuantizationTable, zz_blocks: np.ndarray
+) -> _ChannelCoder:
+    """Per-image optimized coder built from the stream's symbol histograms."""
+    dc_counts, ac_counts = block_symbol_histograms(zz_blocks)
+    return _ChannelCoder(
+        table,
+        HuffmanTable.from_frequencies(dc_counts, "dc-optimized"),
+        HuffmanTable.from_frequencies(ac_counts, "ac-optimized"),
+    )
+
+
+def _blocked_view(shifted: np.ndarray) -> tuple:
+    """8x8-block a level-shifted ``(N, H, W)`` stack without copying.
+
+    Pads by edge replication to block multiples and returns a
+    ``(N, rows, cols, 8, 8)`` view plus the ``(rows, cols)`` grid shape;
+    the single shared blocking implementation behind both the per-image
+    and the batch pipelines.
+    """
+    count, height, width = shifted.shape
+    pad_h = (-height) % 8
+    pad_w = (-width) % 8
+    if pad_h or pad_w:
+        shifted = np.pad(
+            shifted, ((0, 0), (0, pad_h), (0, pad_w)), mode="edge"
+        )
+    rows = shifted.shape[1] // 8
+    cols = shifted.shape[2] // 8
+    blocked = shifted.reshape(count, rows, 8, cols, 8).transpose(0, 1, 3, 2, 4)
+    return blocked, (rows, cols)
 
 
 def _require_grayscale(image: np.ndarray) -> np.ndarray:

@@ -29,6 +29,7 @@ def dct_matrix(n: int = BLOCK_SIZE) -> np.ndarray:
 
 
 _DCT8 = dct_matrix(BLOCK_SIZE)
+_DCT8_T = np.ascontiguousarray(_DCT8.T)
 
 
 def dct2d(block: np.ndarray) -> np.ndarray:
@@ -44,17 +45,20 @@ def idct2d(coefficients: np.ndarray) -> np.ndarray:
 
 
 def block_dct2d(blocks: np.ndarray) -> np.ndarray:
-    """Forward 2-D DCT of a stack of blocks of shape ``(N, 8, 8)``."""
+    """Forward 2-D DCT of a stack of blocks of shape ``(N, 8, 8)``.
+
+    Batched matrix products (``C @ block @ C.T``); bit-identical to the
+    equivalent einsum contraction but without its per-call planning
+    overhead, which dominates for small stacks.
+    """
     blocks = _require_block_stack(blocks)
-    return np.einsum("ij,njk,lk->nil", _DCT8, blocks, _DCT8, optimize=True)
+    return (_DCT8 @ blocks) @ _DCT8_T
 
 
 def block_idct2d(coefficients: np.ndarray) -> np.ndarray:
     """Inverse 2-D DCT of a stack of coefficient blocks ``(N, 8, 8)``."""
     coefficients = _require_block_stack(coefficients)
-    return np.einsum(
-        "ji,njk,kl->nil", _DCT8, coefficients, _DCT8, optimize=True
-    )
+    return (_DCT8_T @ coefficients) @ _DCT8
 
 
 def _require_block(block: np.ndarray) -> np.ndarray:

@@ -6,6 +6,13 @@ frequencies, length-limited to 16 bits as the baseline JPEG format
 requires.  Tables are canonical: they are fully described by the T.81
 ``BITS``/``HUFFVAL`` lists, which is also how their header cost is
 accounted.
+
+For the vectorized fast path each table lazily materialises two dense
+representations: :meth:`HuffmanTable.encode_arrays` (256-entry
+code/length arrays so a whole symbol stream is coded with fancy
+indexing) and :meth:`HuffmanTable.decode_lut` (a 2**16-entry table
+resolving any 16-bit peek window to its symbol and code length in one
+lookup).  Both are cached on the instance.
 """
 
 from __future__ import annotations
@@ -13,7 +20,12 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 
+import numpy as np
+
 MAX_CODE_LENGTH = 16
+
+#: Size of the dense symbol space (JPEG entropy symbols are one byte).
+SYMBOL_SPACE = 256
 
 # Annex K Table K.3 — luminance DC coefficient differences.
 _DC_LUMA_BITS = [0, 1, 5, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, 0, 0, 0]
@@ -95,6 +107,10 @@ class HuffmanTable:
     name: str = "huffman"
     _encode_map: dict = field(init=False, repr=False, compare=False)
     _decode_map: dict = field(init=False, repr=False, compare=False)
+    _dense: tuple = field(init=False, repr=False, compare=False, default=None)
+    _decode_lut: tuple = field(
+        init=False, repr=False, compare=False, default=None
+    )
 
     def __post_init__(self) -> None:
         if len(self.bits) != MAX_CODE_LENGTH:
@@ -136,6 +152,48 @@ class HuffmanTable:
         raise ValueError(
             f"invalid Huffman code in table '{self.name}'"
         )
+
+    def encode_arrays(self) -> "tuple[np.ndarray, np.ndarray]":
+        """Dense ``(codes, lengths)`` lookup arrays indexed by symbol 0–255.
+
+        ``lengths[s]`` is 0 for symbols absent from the table, so the
+        vectorized encoder can map a whole symbol stream with two fancy
+        indexing operations and detect missing symbols in one check.
+        Built lazily and cached on the instance.
+        """
+        if self._dense is None:
+            codes = np.zeros(SYMBOL_SPACE, dtype=np.int64)
+            lengths = np.zeros(SYMBOL_SPACE, dtype=np.int64)
+            for symbol, (code, length) in self._encode_map.items():
+                codes[symbol] = code
+                lengths[symbol] = length
+            codes.setflags(write=False)
+            lengths.setflags(write=False)
+            object.__setattr__(self, "_dense", (codes, lengths))
+        return self._dense
+
+    def decode_lut(self) -> "tuple[list, list]":
+        """Dense ``(symbols, lengths)`` decode tables over 16-bit windows.
+
+        Entry ``w`` resolves the Huffman code found in the high bits of
+        the 16-bit window ``w``: ``symbols[w]`` is the decoded symbol
+        (-1 if no code matches) and ``lengths[w]`` its bit length.
+        Returned as plain Python lists — the sequential decode walk
+        indexes them with Python ints, which avoids NumPy scalar boxing.
+        Built lazily and cached on the instance.
+        """
+        if self._decode_lut is None:
+            symbols = np.full(1 << MAX_CODE_LENGTH, -1, dtype=np.int64)
+            lengths = np.zeros(1 << MAX_CODE_LENGTH, dtype=np.int64)
+            for (code, length), symbol in self._decode_map.items():
+                start = code << (MAX_CODE_LENGTH - length)
+                end = (code + 1) << (MAX_CODE_LENGTH - length)
+                symbols[start:end] = symbol
+                lengths[start:end] = length
+            object.__setattr__(
+                self, "_decode_lut", (symbols.tolist(), lengths.tolist())
+            )
+        return self._decode_lut
 
     def __contains__(self, symbol: int) -> bool:
         return symbol in self._encode_map

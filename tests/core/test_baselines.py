@@ -7,6 +7,7 @@ from repro.core.baselines import (
     JpegCompressor,
     RemoveHighFrequencyCompressor,
     SameQCompressor,
+    compress_batch,
     compress_dataset_with_table,
 )
 from repro.jpeg.quantization import (
@@ -125,3 +126,64 @@ class TestCompressDatasetWithTable:
         assert (
             compressed.payload_compression_ratio > compressed.compression_ratio
         )
+
+
+class TestCompressBatch:
+    def test_matches_per_image_compression(self, small_freqnet):
+        from repro.jpeg.codec import GrayscaleJpegCodec
+
+        table = QuantizationTable.standard_luminance(50)
+        results = compress_batch(small_freqnet.images, table)
+        codec = GrayscaleJpegCodec(table)
+        assert len(results) == len(small_freqnet)
+        for index, result in enumerate(results):
+            single = codec.compress(small_freqnet.images[index])
+            assert result.payload_bytes == single.payload_bytes
+            np.testing.assert_array_equal(
+                result.reconstructed, single.reconstructed
+            )
+
+    def test_dataset_compression_goes_through_batch(self, small_freqnet):
+        table = QuantizationTable.standard_luminance(50)
+        compressed = compress_dataset_with_table(
+            small_freqnet, table, method="batch-check"
+        )
+        results = compress_batch(small_freqnet.images, table)
+        assert compressed.payload_bytes == sum(
+            result.payload_bytes for result in results
+        )
+        assert compressed.header_bytes == sum(
+            result.header_bytes for result in results
+        )
+
+    def test_rejects_bad_shapes(self):
+        table = QuantizationTable.standard_luminance(50)
+        with pytest.raises(ValueError):
+            compress_batch(np.zeros((8, 8)), table)
+
+    def test_color_batch_matches_per_image(self, rng):
+        from repro.jpeg.codec import ColorJpegCodec
+
+        images = np.clip(rng.normal(128, 40, (2, 16, 16, 3)), 0, 255)
+        luma = QuantizationTable.standard_luminance(60)
+        chroma = QuantizationTable.standard_chrominance(60)
+        results = compress_batch(images, luma, chroma)
+        codec = ColorJpegCodec(luma, chroma)
+        for index, result in enumerate(results):
+            single = codec.compress(images[index])
+            assert result.payload_bytes == single.payload_bytes
+            np.testing.assert_array_equal(
+                result.reconstructed, single.reconstructed
+            )
+
+    def test_narrow_grayscale_dataset_dispatches_as_grayscale(self, rng):
+        from repro.data.dataset import Dataset
+
+        # (N, H, 3) is an unambiguous grayscale stack at the dataset level.
+        images = np.clip(rng.normal(128, 40, (4, 16, 3)), 0, 255)
+        dataset = Dataset(images=images, labels=np.zeros(4, dtype=int),
+                          class_names=["only"])
+        table = QuantizationTable.standard_luminance(50)
+        compressed = compress_dataset_with_table(dataset, table)
+        assert compressed.dataset.images.shape == images.shape
+        assert compressed.payload_bytes > 0

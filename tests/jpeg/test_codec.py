@@ -87,6 +87,73 @@ class TestGrayscaleCodec:
         assert result.payload_compression_ratio > 30.0
         assert result.psnr(image) > 40.0
 
+    def test_optimized_huffman_stream_roundtrips_through_decode(self, random_image):
+        codec = GrayscaleJpegCodec(
+            QuantizationTable.standard_luminance(50), optimize_huffman=True
+        )
+        encoded = codec.encode(random_image)
+        assert encoded.dc_huffman is not None
+        assert encoded.ac_huffman is not None
+        decoded = codec.decode(encoded)
+        result = codec.compress(random_image)
+        np.testing.assert_array_equal(decoded, result.reconstructed)
+        assert len(encoded.data) == result.payload_bytes
+
+    def test_standard_stream_carries_no_tables(self, random_image):
+        codec = GrayscaleJpegCodec(QuantizationTable.standard_luminance(50))
+        encoded = codec.encode(random_image)
+        assert encoded.dc_huffman is None
+        assert encoded.ac_huffman is None
+
+    def test_compress_matches_explicit_decode(self, random_image):
+        # compress() reconstructs straight from the quantized blocks;
+        # decoding the stream must give the exact same image.
+        codec = GrayscaleJpegCodec(QuantizationTable.standard_luminance(60))
+        result = codec.compress(random_image)
+        decoded = codec.decode(codec.encode(random_image))
+        np.testing.assert_array_equal(decoded, result.reconstructed)
+
+
+class TestGrayscaleBatch:
+    def test_batch_matches_per_image_compress(self, rng):
+        images = np.clip(rng.normal(128, 50, (6, 24, 24)), 0, 255)
+        codec = GrayscaleJpegCodec(QuantizationTable.standard_luminance(50))
+        batch = codec.compress_batch(images)
+        assert len(batch) == 6
+        for index, result in enumerate(batch):
+            single = codec.compress(images[index])
+            assert result.payload_bytes == single.payload_bytes
+            assert result.header_bytes == single.header_bytes
+            np.testing.assert_array_equal(
+                result.reconstructed, single.reconstructed
+            )
+
+    def test_batch_with_padding_dimensions(self, rng):
+        images = np.clip(rng.normal(128, 50, (3, 19, 27)), 0, 255)
+        codec = GrayscaleJpegCodec(QuantizationTable.standard_luminance(60))
+        batch = codec.compress_batch(images)
+        for index, result in enumerate(batch):
+            single = codec.compress(images[index])
+            assert result.payload_bytes == single.payload_bytes
+            np.testing.assert_array_equal(
+                result.reconstructed, single.reconstructed
+            )
+
+    def test_batch_optimized_huffman_falls_back_per_image(self, rng):
+        images = np.clip(rng.normal(128, 50, (3, 16, 16)), 0, 255)
+        codec = GrayscaleJpegCodec(
+            QuantizationTable.standard_luminance(50), optimize_huffman=True
+        )
+        batch = codec.compress_batch(images)
+        for index, result in enumerate(batch):
+            single = codec.compress(images[index])
+            assert result.payload_bytes == single.payload_bytes
+
+    def test_batch_rejects_single_image(self, random_image):
+        codec = GrayscaleJpegCodec(QuantizationTable.standard_luminance(50))
+        with pytest.raises(ValueError):
+            codec.compress_batch(random_image)
+
 
 class TestColorCodec:
     def test_roundtrip_shape(self, random_rgb_image):

@@ -1,0 +1,427 @@
+"""Scalar ↔ vectorized parity tests for the entropy-coding fast path.
+
+The NumPy fast path (tokenize → dense Huffman arrays → vectorized bit
+packing) must produce byte streams bit-identical to the scalar reference
+(`encode_dc`/`encode_ac` through a `BitWriter`), and the table-driven
+decoder must invert them exactly.  These tests assert that over random
+quantized block stacks and the edge cases that historically break
+entropy coders: all-zero blocks, zero runs longer than 15 (ZRL chains),
+0xFF byte-stuffing boundaries and final-byte padding.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.jpeg.bitstream import (
+    BitReader,
+    BitWriter,
+    destuff_bytes,
+    encode_magnitude,
+    encode_magnitude_array,
+    magnitude_category,
+    magnitude_category_array,
+    pack_bits,
+    peek_words,
+)
+from repro.jpeg.codec import _ChannelCoder
+from repro.jpeg.huffman import HuffmanTable
+from repro.jpeg.quantization import QuantizationTable
+from repro.jpeg.rle import (
+    DC_SYMBOL_OFFSET,
+    block_symbol_histograms,
+    encode_ac,
+    encode_dc,
+    tokenize_blocks,
+)
+
+
+# Module-level coder: shared by the parity tests (hypothesis forbids
+# function-scoped fixtures inside @given).
+CODER = _ChannelCoder(
+    QuantizationTable.standard_luminance(50),
+    HuffmanTable.standard_dc_luminance(),
+    HuffmanTable.standard_ac_luminance(),
+)
+
+
+def scalar_token_stream(zz_blocks, reset_interval=0):
+    """Reference token stream via the scalar encoders."""
+    tokens = []
+    previous_dc = 0
+    for index, block in enumerate(np.asarray(zz_blocks)):
+        if reset_interval and index % reset_interval == 0:
+            previous_dc = 0
+        dc = encode_dc(int(block[0]), previous_dc)
+        previous_dc = int(block[0])
+        tokens.append(
+            (dc.symbol + DC_SYMBOL_OFFSET, dc.amplitude_bits,
+             dc.amplitude_length)
+        )
+        for token in encode_ac(block[1:]):
+            tokens.append(
+                (token.symbol, token.amplitude_bits, token.amplitude_length)
+            )
+    return tokens
+
+
+def random_blocks(rng, count, low=-200, high=200, density=0.3):
+    blocks = rng.integers(low, high + 1, size=(count, 64))
+    mask = rng.random((count, 64)) < density
+    return (blocks * mask).astype(np.int64)
+
+
+class TestMagnitudeCategory:
+    @pytest.mark.parametrize(
+        "value, expected",
+        [(0, 0), (1, 1), (-1, 1), (2, 2), (3, 2), (4, 3), (255, 8),
+         (256, 9), (32767, 15), (-32768, 16), (2 ** 20, 21)],
+    )
+    def test_scalar_is_exact_bit_length(self, value, expected):
+        assert magnitude_category(value) == expected
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(min_value=-(2 ** 40), max_value=2 ** 40))
+    def test_scalar_matches_mathematical_definition(self, value):
+        expected = 0
+        while (1 << expected) - 1 < abs(value):
+            expected += 1
+        assert magnitude_category(value) == expected
+
+    def test_array_matches_scalar_below_lut_range(self):
+        values = np.arange(-70000, 70000, 17)
+        expected = [magnitude_category(int(v)) for v in values]
+        np.testing.assert_array_equal(
+            magnitude_category_array(values), expected
+        )
+
+    def test_array_smear_path_for_huge_values(self):
+        values = np.array([2 ** 17, -(2 ** 31), 2 ** 52, 0, 5])
+        expected = [magnitude_category(int(v)) for v in values]
+        np.testing.assert_array_equal(
+            magnitude_category_array(values), expected
+        )
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        hnp.arrays(
+            np.int64, (37,),
+            elements=st.integers(min_value=-(2 ** 30), max_value=2 ** 30),
+        )
+    )
+    def test_encode_magnitude_array_matches_scalar(self, values):
+        bits, lengths = encode_magnitude_array(values)
+        for index, value in enumerate(values):
+            expected_bits, expected_length = encode_magnitude(int(value))
+            assert bits[index] == expected_bits
+            assert lengths[index] == expected_length
+
+
+class TestPackBits:
+    def test_empty_stream(self):
+        assert pack_bits(np.array([], dtype=np.int64),
+                         np.array([], dtype=np.int64)) == b""
+
+    def test_zero_length_entries_are_skipped(self):
+        values = np.array([0xAB, 7, 0x3], dtype=np.int64)
+        lengths = np.array([8, 0, 2], dtype=np.int64)
+        writer = BitWriter()
+        writer.write_bits(0xAB, 8)
+        writer.write_bits(0x3, 2)
+        assert pack_bits(values, lengths) == writer.getvalue()
+
+    def test_final_byte_padded_with_ones(self):
+        assert pack_bits(np.array([0b101]), np.array([3])) == bytes(
+            [0b10111111]
+        )
+
+    def test_ff_byte_is_stuffed(self):
+        assert pack_bits(np.array([0xFF]), np.array([8])) == bytes(
+            [0xFF, 0x00]
+        )
+
+    def test_stuffing_across_value_boundary(self):
+        # Two nibbles of 0xF meet across one byte: must still stuff.
+        values = np.array([0xF, 0xF, 0x1], dtype=np.int64)
+        lengths = np.array([4, 4, 8], dtype=np.int64)
+        assert pack_bits(values, lengths) == bytes([0xFF, 0x00, 0x01])
+
+    def test_no_stuffing_when_disabled(self):
+        assert pack_bits(
+            np.array([0xFF]), np.array([8]), byte_stuffing=False
+        ) == bytes([0xFF])
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 2 ** 16 - 1), st.integers(1, 16)),
+            min_size=1, max_size=60,
+        )
+    )
+    def test_matches_bitwriter_bit_for_bit(self, chunks):
+        values = np.array([v & ((1 << l) - 1) for v, l in chunks])
+        lengths = np.array([l for _, l in chunks])
+        writer = BitWriter()
+        for value, length in zip(values, lengths):
+            writer.write_bits(int(value), int(length))
+        assert pack_bits(values, lengths) == writer.getvalue()
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 2 ** 12 - 1), st.integers(12, 16)),
+            min_size=1, max_size=30,
+        )
+    )
+    def test_bitreader_reads_back_packed_stream(self, chunks):
+        values = np.array([v for v, _ in chunks])
+        lengths = np.array([l for _, l in chunks])
+        reader = BitReader(pack_bits(values, lengths))
+        for value, length in chunks:
+            assert reader.read_bits(length) == value
+
+
+class TestPeekWords:
+    def test_destuff_inverts_stuffing(self):
+        writer = BitWriter()
+        for byte in (0xFF, 0x00, 0xFF, 0x12):
+            writer.write_bits(byte, 8)
+        assert destuff_bytes(writer.getvalue()) == bytes(
+            [0xFF, 0x00, 0xFF, 0x12]
+        )
+
+    def test_windows_expose_bits_at_any_offset(self):
+        data = pack_bits(np.array([0b1011001110001111]), np.array([16]))
+        words, total_bits = peek_words(data)
+        assert total_bits == 16
+        stream = 0b1011001110001111
+        for position in range(9):
+            window = (
+                words[position >> 3] >> (32 - (position & 7))
+            ) & 0xFFFFFFFF
+            expected_high16 = (
+                (stream << 16 | 0xFFFF) >> (16 - position)
+            ) & 0xFFFF
+            assert (window >> 16) == expected_high16
+
+
+class TestTokenizeBlocks:
+    def test_rejects_wrong_shape(self):
+        with pytest.raises(ValueError):
+            tokenize_blocks(np.zeros((3, 63)))
+
+    def test_empty_stack(self):
+        stream = tokenize_blocks(np.zeros((0, 64)))
+        assert len(stream) == 0
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 2 ** 32))
+    def test_matches_scalar_tokens_on_random_stacks(self, seed):
+        rng = np.random.default_rng(seed)
+        blocks = random_blocks(rng, int(rng.integers(1, 12)),
+                               density=float(rng.uniform(0.02, 0.6)))
+        stream = tokenize_blocks(blocks)
+        expected = scalar_token_stream(blocks)
+        assert len(stream) == len(expected)
+        for index, (symbol, bits, length) in enumerate(expected):
+            assert stream.symbols[index] == symbol
+            assert stream.amplitudes[index] == bits
+            assert stream.amplitude_lengths[index] == length
+        assert int(stream.block_token_counts.sum()) == len(expected)
+
+    def test_all_zero_blocks_are_dc_plus_eob(self):
+        stream = tokenize_blocks(np.zeros((3, 64), dtype=np.int64))
+        assert len(stream) == 6
+        np.testing.assert_array_equal(stream.block_token_counts, [2, 2, 2])
+
+    def test_zrl_chains_for_long_runs(self):
+        block = np.zeros((1, 64), dtype=np.int64)
+        block[0, 40] = 5  # 39 leading AC zeros: two ZRLs then run 7
+        stream = tokenize_blocks(block)
+        expected = scalar_token_stream(block)
+        assert [int(s) for s in stream.symbols] == [s for s, _, _ in expected]
+
+    def test_run_of_exactly_16_uses_single_zrl(self):
+        block = np.zeros((1, 64), dtype=np.int64)
+        block[0, 17] = 1
+        stream = tokenize_blocks(block)
+        expected = scalar_token_stream(block)
+        assert [int(s) for s in stream.symbols] == [s for s, _, _ in expected]
+
+    def test_reset_interval_restarts_dc_prediction(self):
+        blocks = np.zeros((4, 64), dtype=np.int64)
+        blocks[:, 0] = [10, 20, 30, 40]
+        stream = tokenize_blocks(blocks, reset_interval=2)
+        expected = scalar_token_stream(blocks, reset_interval=2)
+        for index, (symbol, bits, length) in enumerate(expected):
+            assert stream.symbols[index] == symbol
+            assert stream.amplitudes[index] == bits
+
+    def test_dc_prediction_with_reset_differs_from_without(self):
+        blocks = np.zeros((4, 64), dtype=np.int64)
+        blocks[:, 0] = [10, 20, 30, 40]
+        with_reset = tokenize_blocks(blocks, reset_interval=2)
+        without = tokenize_blocks(blocks)
+        assert not np.array_equal(with_reset.amplitudes, without.amplitudes)
+
+
+class TestHistogramParity:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2 ** 32))
+    def test_matches_scalar_counts(self, seed):
+        rng = np.random.default_rng(seed)
+        blocks = random_blocks(rng, int(rng.integers(1, 10)))
+        dc_counts, ac_counts = block_symbol_histograms(blocks)
+        expected_dc: dict = {}
+        expected_ac: dict = {}
+        for symbol, _, _ in scalar_token_stream(blocks):
+            if symbol >= DC_SYMBOL_OFFSET:
+                key = symbol - DC_SYMBOL_OFFSET
+                expected_dc[key] = expected_dc.get(key, 0) + 1
+            else:
+                expected_ac[symbol] = expected_ac.get(symbol, 0) + 1
+        assert dc_counts == expected_dc
+        assert ac_counts == expected_ac
+
+
+class TestEncodeParity:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 2 ** 32))
+    def test_byte_identical_on_random_images(self, seed):
+        rng = np.random.default_rng(seed)
+        height, width = rng.integers(8, 57, size=2)
+        image = np.clip(rng.normal(128.0, 64.0, (height, width)), 0, 255)
+        fast = CODER.encode(image)
+        reference = CODER.encode_scalar(image)
+        assert fast.data == reference.data
+        assert fast.block_count == reference.block_count
+        assert fast.grid_shape == reference.grid_shape
+
+    def test_byte_identical_on_constant_image(self):
+        image = np.full((32, 24), 201.0)
+        assert CODER.encode(image).data == CODER.encode_scalar(image).data
+
+    def test_byte_identical_on_sparse_images_with_zrl_chains(self):
+        rng = np.random.default_rng(7)
+        for _ in range(20):
+            image = np.full((24, 24), 128.0)
+            ys, xs = rng.integers(0, 24, size=(2, 3))
+            image[ys, xs] = rng.integers(0, 256, size=3)
+            assert CODER.encode(image).data == CODER.encode_scalar(image).data
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 2 ** 32))
+    def test_entropy_code_fused_matches_general(self, seed):
+        rng = np.random.default_rng(seed)
+        blocks = random_blocks(rng, int(rng.integers(1, 16)),
+                               low=-255, high=255,
+                               density=float(rng.uniform(0.02, 0.5)))
+        values, lengths, counts = CODER.entropy_code(blocks)
+        ref_values, ref_lengths, ref_counts = CODER._entropy_code_general(
+            blocks
+        )
+        assert pack_bits(values, lengths) == pack_bits(
+            ref_values, ref_lengths
+        )
+        assert int(counts.sum()) <= int(ref_counts.sum())
+
+    def test_missing_symbol_raises_keyerror(self):
+        # A single-symbol optimized table cannot code a different block.
+        dc_table = HuffmanTable.from_frequencies({0: 1}, "dc-tiny")
+        ac_table = HuffmanTable.from_frequencies({0x01: 1}, "ac-tiny")
+        tiny = _ChannelCoder(
+            QuantizationTable.standard_luminance(50), dc_table, ac_table
+        )
+        blocks = np.zeros((1, 64), dtype=np.int64)
+        blocks[0, 0] = 50  # DC category 6: absent from the tiny table
+        with pytest.raises(KeyError):
+            tiny.encode_quantized(blocks)
+
+
+class TestDecodeParity:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 2 ** 32))
+    def test_fast_decode_matches_scalar_decode(self, seed):
+        rng = np.random.default_rng(seed)
+        height, width = rng.integers(8, 49, size=2)
+        image = np.clip(rng.normal(128.0, 64.0, (height, width)), 0, 255)
+        encoded = CODER.encode(image)
+        np.testing.assert_array_equal(
+            CODER.decode(encoded), CODER.decode_scalar(encoded)
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 2 ** 32))
+    def test_roundtrip_recovers_quantized_blocks(self, seed):
+        rng = np.random.default_rng(seed)
+        blocks = random_blocks(rng, int(rng.integers(1, 16)),
+                               low=-255, high=255,
+                               density=float(rng.uniform(0.02, 0.5)))
+        data = CODER.encode_quantized(blocks)
+        decoded = CODER.decode_to_zigzag(data, blocks.shape[0])
+        np.testing.assert_array_equal(decoded, blocks)
+
+    def test_roundtrip_with_stuffed_bytes(self):
+        # Search a few seeds for a payload containing a stuffed 0xFF so
+        # the destuffing path is provably exercised.
+        rng = np.random.default_rng(11)
+        exercised = False
+        for _ in range(200):
+            blocks = random_blocks(rng, 4, low=-255, high=255, density=0.4)
+            data = CODER.encode_quantized(blocks)
+            if b"\xff\x00" in data:
+                exercised = True
+                decoded = CODER.decode_to_zigzag(data, 4)
+                np.testing.assert_array_equal(decoded, blocks)
+        assert exercised
+
+    def test_decode_detects_truncated_stream(self):
+        rng = np.random.default_rng(5)
+        blocks = random_blocks(rng, 8, density=0.5)
+        data = CODER.encode_quantized(blocks)
+        with pytest.raises((EOFError, ValueError)):
+            CODER.decode_to_zigzag(data[: max(1, len(data) // 4)], 8)
+
+    def test_every_truncation_point_raises_cleanly(self):
+        # Never a raw IndexError, whatever prefix of the stream survives.
+        # Cutting only a trailing stuffed 0x00 (or nothing but padding)
+        # loses no payload bits, so an exact decode is also acceptable.
+        rng = np.random.default_rng(17)
+        blocks = random_blocks(rng, 6, density=0.4)
+        data = CODER.encode_quantized(blocks)
+        for cut in range(len(data)):
+            try:
+                decoded = CODER.decode_to_zigzag(data[:cut], 6)
+            except (EOFError, ValueError):
+                continue
+            np.testing.assert_array_equal(decoded, blocks)
+
+
+class TestOutOfRangeMagnitudes:
+    def test_uncodable_ac_magnitude_raises_not_corrupts(self):
+        # Category > 15 cannot fit the (run, size) nibble; encoding must
+        # fail loudly instead of aliasing into a different symbol.
+        blocks = np.zeros((1, 64), dtype=np.int64)
+        blocks[0, 5] = 1 << 17
+        with pytest.raises(ValueError):
+            CODER.encode_quantized(blocks)
+        with pytest.raises(ValueError):
+            tokenize_blocks(blocks)
+
+    def test_uncodable_dc_magnitude_raises_valueerror(self):
+        blocks = np.zeros((1, 64), dtype=np.int64)
+        blocks[0, 0] = 1 << 17  # DC category 18: beyond any baseline table
+        with pytest.raises(ValueError):
+            CODER.encode_quantized(blocks)
+
+    def test_huge_dc_jump_raises_even_with_optimized_tables(self):
+        # A DC category > 16 encodes fine under an optimized table but is
+        # not invertible by the table-driven decoder; reject at encode.
+        blocks = np.zeros((2, 64), dtype=np.int64)
+        blocks[1, 0] = 1 << 29
+        with pytest.raises((ValueError, KeyError)):
+            CODER.encode_quantized(blocks)
+        with pytest.raises(ValueError):
+            tokenize_blocks(blocks)
