@@ -16,7 +16,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.data.dataset import Dataset
-from repro.jpeg.blocks import level_shift, partition_blocks
+from repro.jpeg.blocks import level_shift, partition_blocks_batch
 from repro.jpeg.dct import BLOCK_SIZE, block_dct2d
 from repro.jpeg.zigzag import ZIGZAG_ORDER
 
@@ -65,9 +65,22 @@ class FrequencyStatistics:
         ]
 
     def rank_of_band(self, row: int, col: int) -> int:
-        """0-based rank of band ``(row, col)`` in descending std order."""
-        ranked = self.ranked_bands()
-        return ranked.index((row, col))
+        """0-based rank of band ``(row, col)`` in descending std order.
+
+        The ranking is computed once and cached (the statistics are
+        frozen), so repeated per-band lookups are O(1) instead of
+        re-sorting all 64 bands on every call.
+        """
+        ranks = getattr(self, "_band_ranks", None)
+        if ranks is None:
+            ranks = {
+                band: rank for rank, band in enumerate(self.ranked_bands())
+            }
+            object.__setattr__(self, "_band_ranks", ranks)
+        try:
+            return ranks[(row, col)]
+        except KeyError:
+            raise ValueError(f"({row}, {col}) is not a frequency band") from None
 
     def ac_energy_fraction_above(self, zigzag_position: int) -> float:
         """Fraction of AC energy (variance) in zig-zag bands >= ``position``."""
@@ -99,11 +112,13 @@ def coefficients_by_band(images: np.ndarray) -> np.ndarray:
     images = np.asarray(images, dtype=np.float64)
     if images.ndim != 3:
         raise ValueError(f"expected (N, H, W) grayscale images, got {images.shape}")
-    all_blocks = []
-    for image in images:
-        blocks, _ = partition_blocks(level_shift(image))
-        all_blocks.append(block_dct2d(blocks))
-    return np.concatenate(all_blocks, axis=0)
+    # One batched partition + DCT over every block of every image instead
+    # of a per-image Python loop.
+    blocked, (rows, cols) = partition_blocks_batch(level_shift(images))
+    blocks = blocked.reshape(
+        images.shape[0] * rows * cols, BLOCK_SIZE, BLOCK_SIZE
+    )
+    return block_dct2d(blocks)
 
 
 def analyze_images(images: np.ndarray) -> FrequencyStatistics:
@@ -134,9 +149,9 @@ def analyze_dataset(
     )
     images = sampled.images
     if images.ndim == 4:
-        from repro.jpeg.color import rgb_to_ycbcr
+        from repro.jpeg.color import rgb_to_luma
 
-        images = np.stack(
-            [rgb_to_ycbcr(image)[..., 0] for image in images], axis=0
-        )
+        # One vectorized luma pass over the whole stack instead of a
+        # per-image loop (and without materializing the chroma planes).
+        images = rgb_to_luma(images)
     return analyze_images(images)

@@ -85,9 +85,25 @@ class CompressedDataset:
         return self.total_bytes / len(self.dataset)
 
 
-#: Images per vectorized grayscale batch in the dataset path; bounds the
-#: size of the whole-batch float64 intermediates.
-_GRAYSCALE_BATCH_CHUNK = 1024
+#: Cap on images per vectorized batch in the dataset path.
+_BATCH_CHUNK = 1024
+
+#: Rough budget for per-chunk float64 intermediates (the batch pipeline
+#: holds roughly ten image-sized float64 arrays at once: colour planes,
+#: quantized blocks, code arrays, reconstructions).
+_BATCH_CHUNK_BYTES = 256 * 2 ** 20
+
+
+def _batch_chunk_size(image_shape: tuple) -> int:
+    """Images per chunk: capped by count and by intermediate bytes.
+
+    Small images (the experiment datasets) get the full 1024-image
+    chunk; large images shrink the chunk so the whole-batch float64
+    intermediates stay near :data:`_BATCH_CHUNK_BYTES` instead of
+    scaling with image area.
+    """
+    per_image = 10 * 8 * int(np.prod(image_shape))
+    return int(max(1, min(_BATCH_CHUNK, _BATCH_CHUNK_BYTES // per_image)))
 
 
 def compress_batch(
@@ -102,11 +118,12 @@ def compress_batch(
     one codec — and therefore one set of quantization and Huffman
     tables, dense code arrays and decode LUTs — is built once and
     reused across all images instead of being rebuilt per image.
-    Grayscale stacks ``(N, H, W)`` additionally run blocking, DCT,
-    quantization and entropy coding as single vectorized passes over
-    every block of the whole batch; colour stacks ``(N, H, W, 3)`` run
-    image-at-a-time on the shared codec.  Per-image results are
-    byte-identical to compressing each image individually.
+    Grayscale stacks ``(N, H, W)`` run blocking, DCT, quantization and
+    entropy coding as single vectorized passes over every block of the
+    whole batch; colour stacks ``(N, H, W, 3)`` do the same per plane
+    (colour conversion and chroma resampling are also whole-batch
+    passes).  Per-image results are byte-identical to compressing each
+    image individually.
     """
     images = np.asarray(images, dtype=np.float64)
     if images.ndim == 4:
@@ -156,33 +173,27 @@ def compress_dataset_with_table(
     payload = 0
     header = 0
     psnr_values = []
+    # Chunking bounds peak memory (the batch pipeline holds several
+    # chunk-sized float64 intermediates at once) while keeping the
+    # vectorization win; the chunk shrinks for large images so peak
+    # memory is bounded in bytes, not image count.
+    chunk = _batch_chunk_size(images.shape[1:])
     if images.ndim == 4:
-        # Colour runs image-at-a-time anyway; streaming the results here
-        # keeps one reconstruction alive at a time instead of N.
+        # Colour batches share the vectorized per-plane entropy path.
         codec = ColorJpegCodec(
             luma_table,
             chroma_table if chroma_table is not None else luma_table,
             optimize_huffman=optimize_huffman,
         )
-        results = (
-            codec.compress(images[index]) for index in range(images.shape[0])
-        )
     else:
-        # Grayscale reconstructions are views into one batch array per
-        # chunk; chunking bounds peak memory (the batch pipeline holds a
-        # few dataset-sized float64 intermediates at once) while keeping
-        # the vectorization win — 1024 images is far past the point
-        # where per-image overhead is amortized.
         codec = GrayscaleJpegCodec(
             luma_table, optimize_huffman=optimize_huffman
         )
-        results = (
-            result
-            for start in range(0, images.shape[0], _GRAYSCALE_BATCH_CHUNK)
-            for result in codec.compress_batch(
-                images[start:start + _GRAYSCALE_BATCH_CHUNK]
-            )
-        )
+    results = (
+        result
+        for start in range(0, images.shape[0], chunk)
+        for result in codec.compress_batch(images[start:start + chunk])
+    )
     for index, result in enumerate(results):
         reconstructed[index] = result.reconstructed
         payload += result.payload_bytes

@@ -5,9 +5,9 @@ from __future__ import annotations
 import numpy as np
 
 
-def images_to_nchw(images: np.ndarray) -> np.ndarray:
+def images_to_nchw(images: np.ndarray, dtype=np.float64) -> np.ndarray:
     """Convert ``(N, H, W)`` or ``(N, H, W, C)`` images to NCHW tensors."""
-    images = np.asarray(images, dtype=np.float64)
+    images = np.asarray(images, dtype=dtype)
     if images.ndim == 3:
         return images[:, None, :, :]
     if images.ndim == 4:
@@ -15,14 +15,21 @@ def images_to_nchw(images: np.ndarray) -> np.ndarray:
     raise ValueError(f"expected 3-D or 4-D image array, got {images.shape}")
 
 
-def normalize_images(images: np.ndarray, scale: float = 255.0) -> np.ndarray:
+def normalize_images(
+    images: np.ndarray, scale: float = 255.0, dtype=np.float64
+) -> np.ndarray:
     """Map intensities from ``[0, scale]`` to zero-centred ``[-1, 1]``."""
     if scale <= 0:
         raise ValueError("scale must be positive")
-    images = np.asarray(images, dtype=np.float64)
+    images = np.asarray(images, dtype=dtype)
     return (images / scale - 0.5) * 2.0
 
 
-def prepare_for_network(images: np.ndarray) -> np.ndarray:
-    """Standard preprocessing: NCHW layout plus [-1, 1] normalisation."""
-    return normalize_images(images_to_nchw(images))
+def prepare_for_network(images: np.ndarray, dtype=np.float64) -> np.ndarray:
+    """Standard preprocessing: NCHW layout plus [-1, 1] normalisation.
+
+    ``dtype`` is the compute dtype of the resulting tensor; pass the
+    model's dtype (e.g. ``"float32"``) so the network never re-casts.
+    """
+    dtype = np.dtype(dtype)
+    return normalize_images(images_to_nchw(images, dtype=dtype), dtype=dtype)

@@ -31,6 +31,9 @@ class ExperimentConfig:
     model_name:
         Default architecture (a key of
         :data:`repro.nn.models.MODEL_BUILDERS`).
+    compute_dtype:
+        Compute dtype of the classifier stack: ``"float32"`` (the fast
+        default) or ``"float64"`` (the bit-exact reference mode).
     dataset_seed / split_seed / model_seed:
         Seeds for the three sources of randomness.
     sampling_interval:
@@ -46,6 +49,7 @@ class ExperimentConfig:
     batch_size: int = 32
     learning_rate: float = 0.002
     model_name: str = "AlexNet"
+    compute_dtype: str = "float32"
     dataset_seed: int = 7
     split_seed: int = 0
     model_seed: int = 0
@@ -58,6 +62,11 @@ class ExperimentConfig:
             raise ValueError("epochs must be at least 1")
         if self.model_name not in models.MODEL_BUILDERS:
             raise ValueError(f"unknown model {self.model_name!r}")
+        if self.compute_dtype not in ("float32", "float64"):
+            raise ValueError(
+                f"compute_dtype must be 'float32' or 'float64', "
+                f"got {self.compute_dtype!r}"
+            )
 
     @classmethod
     def tiny(cls) -> "ExperimentConfig":
@@ -113,13 +122,16 @@ class TrainedClassifier:
         """Top-1 accuracy on a Dataset or CompressedDataset."""
         dataset = _as_dataset(dataset)
         return self.trainer.evaluate(
-            prepare_for_network(dataset.images), dataset.labels
+            prepare_for_network(dataset.images, dtype=self.model.dtype),
+            dataset.labels,
         )
 
     def predictions_on(self, dataset) -> np.ndarray:
         """Predicted labels on a Dataset or CompressedDataset."""
         dataset = _as_dataset(dataset)
-        return self.model.predict(prepare_for_network(dataset.images))
+        return self.model.predict(
+            prepare_for_network(dataset.images, dtype=self.model.dtype)
+        )
 
 
 def train_classifier(
@@ -141,6 +153,7 @@ def train_classifier(
         num_classes=train_dataset.num_classes,
         input_shape=config.input_shape(),
         seed=config.model_seed,
+        dtype=config.compute_dtype,
     )
     trainer = Trainer(
         model,
@@ -152,11 +165,13 @@ def train_classifier(
     if validation_dataset is not None:
         validation_dataset = _as_dataset(validation_dataset)
         validation_data = (
-            prepare_for_network(validation_dataset.images),
+            prepare_for_network(
+                validation_dataset.images, dtype=config.compute_dtype
+            ),
             validation_dataset.labels,
         )
     history = trainer.fit(
-        prepare_for_network(train_dataset.images),
+        prepare_for_network(train_dataset.images, dtype=config.compute_dtype),
         train_dataset.labels,
         epochs=epochs if epochs is not None else config.epochs,
         validation_data=validation_data,

@@ -75,6 +75,34 @@ def assemble_blocks(
     return channel[:height, :width]
 
 
+def partition_blocks_batch(stack: np.ndarray) -> tuple:
+    """8x8-block an ``(N, H, W)`` channel stack without copying.
+
+    Pads by edge replication to block multiples (exactly like
+    :func:`partition_blocks`) and returns a ``(N, rows, cols, 8, 8)``
+    view plus the ``(rows, cols)`` grid shape; blocks of each image are
+    ordered row-major over the grid.  The single shared batched blocking
+    implementation behind the codec pipelines and the frequency
+    analysis.
+    """
+    stack = np.asarray(stack)
+    if stack.ndim != 3:
+        raise ValueError(f"expected an (N, H, W) stack, got {stack.shape}")
+    count, height, width = stack.shape
+    pad_h = (-height) % BLOCK_SIZE
+    pad_w = (-width) % BLOCK_SIZE
+    if pad_h or pad_w:
+        stack = np.pad(
+            stack, ((0, 0), (0, pad_h), (0, pad_w)), mode="edge"
+        )
+    rows = stack.shape[1] // BLOCK_SIZE
+    cols = stack.shape[2] // BLOCK_SIZE
+    blocked = stack.reshape(
+        count, rows, BLOCK_SIZE, cols, BLOCK_SIZE
+    ).transpose(0, 1, 3, 2, 4)
+    return blocked, (rows, cols)
+
+
 def level_shift(channel: np.ndarray) -> np.ndarray:
     """Shift pixel values from ``[0, 255]`` to ``[-128, 127]``."""
     return np.asarray(channel, dtype=np.float64) - 128.0

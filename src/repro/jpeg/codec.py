@@ -42,7 +42,7 @@ from repro.jpeg.bitstream import (
     pack_bits,
     peek_words,
 )
-from repro.jpeg.blocks import level_shift
+from repro.jpeg.blocks import level_shift, partition_blocks_batch
 from repro.jpeg.dct import _DCT8, _DCT8_T
 from repro.jpeg.huffman import HuffmanTable
 from repro.jpeg.metrics import compression_ratio, psnr
@@ -200,7 +200,7 @@ class _ChannelCoder:
         The single shared quantization pipeline behind both the
         per-image and the batch paths.
         """
-        blocks, (rows, cols) = _blocked_view(level_shift(images))
+        blocks, (rows, cols) = partition_blocks_batch(level_shift(images))
         coefficients = (_DCT8 @ blocks) @ _DCT8_T
         flat = coefficients.reshape(images.shape[0] * rows * cols, 64)
         zz = np.rint(flat[:, ZIGZAG_ORDER] / self._zz_steps).astype(np.int64)
@@ -746,7 +746,12 @@ class ColorJpegCodec:
             self.chroma_table, self._dc_chroma, self._ac_chroma
         )
         self._plane_coders = [luma_coder, chroma_coder, chroma_coder]
+        self._standard_header = None
 
+    def _cached_header_bytes(self) -> int:
+        if self._standard_header is None:
+            self._standard_header = self.header_bytes(self._plane_coders)
+        return self._standard_header
 
     def compress(self, image: np.ndarray) -> CompressionResult:
         """Round-trip one RGB image and report sizes and the reconstruction.
@@ -787,9 +792,13 @@ class ColorJpegCodec:
         else:
             cb, cr = decoded_planes[1], decoded_planes[2]
         reconstructed = color_mod.ycbcr_to_rgb(np.stack([luma, cb, cr], axis=-1))
+        header = (
+            self.header_bytes(coders) if self.optimize_huffman
+            else self._cached_header_bytes()
+        )
         return CompressionResult(
             payload_bytes=payload,
-            header_bytes=self.header_bytes(coders),
+            header_bytes=header,
             original_bytes=int(height * width * 3),
             reconstructed=reconstructed,
         )
@@ -797,17 +806,81 @@ class ColorJpegCodec:
     def compress_batch(self, images: np.ndarray) -> "list[CompressionResult]":
         """Round-trip a stack of same-shaped RGB images ``(N, H, W, 3)``.
 
-        Shares one codec (and, without ``optimize_huffman``, one set of
-        Huffman tables) across the batch.  The colour path keeps a
-        per-image loop — chroma subsampling makes plane shapes differ
-        from luma — but every image still runs on the vectorized coder.
+        Colour conversion, chroma subsampling and — per plane — blocking,
+        DCT, quantization and entropy coding all run as single vectorized
+        passes over the whole batch through the same shared
+        :class:`_ChannelCoder` batch path the grayscale codec uses (the
+        DC predictor resets at image boundaries, so per-image byte
+        streams are identical to :meth:`compress`).  With
+        ``optimize_huffman`` (per-image tables by definition) this falls
+        back to the per-image path.
         """
         images = np.asarray(images, dtype=np.float64)
         if images.ndim != 4 or images.shape[-1] != 3:
             raise ValueError(
                 f"expected an (N, H, W, 3) image stack, got {images.shape}"
             )
-        return [self.compress(image) for image in images]
+        if self.optimize_huffman:
+            return [self.compress(image) for image in images]
+        count, height, width, _ = images.shape
+        ycbcr = color_mod.rgb_to_ycbcr(images)
+        planes = [ycbcr[..., 0]]
+        if self.subsample_chroma:
+            planes.append(color_mod.batch_subsample_420(ycbcr[..., 1]))
+            planes.append(color_mod.batch_subsample_420(ycbcr[..., 2]))
+        else:
+            planes.append(ycbcr[..., 1])
+            planes.append(ycbcr[..., 2])
+        payloads = np.zeros(count, dtype=np.int64)
+        decoded_planes = []
+        for plane_stack, coder in zip(planes, self._plane_coders):
+            zz_blocks, grid_shape = coder.quantized_batch(plane_stack)
+            blocks_per_image = grid_shape[0] * grid_shape[1]
+            values, lengths, block_tokens = coder.entropy_code(
+                zz_blocks, reset_interval=blocks_per_image
+            )
+            tokens_per_image = np.add.reduceat(
+                block_tokens,
+                np.arange(0, count * blocks_per_image, blocks_per_image),
+            )
+            boundaries = np.concatenate(
+                [[0], np.cumsum(tokens_per_image)]
+            ).astype(np.int64)
+            for index in range(count):
+                payloads[index] += len(
+                    pack_bits(
+                        values[boundaries[index]:boundaries[index + 1]],
+                        lengths[boundaries[index]:boundaries[index + 1]],
+                    )
+                )
+            decoded_planes.append(
+                coder.reconstruct_batch(
+                    zz_blocks, count, grid_shape, plane_stack.shape[1:]
+                )
+            )
+        luma = decoded_planes[0]
+        if self.subsample_chroma:
+            cb = color_mod.batch_upsample_420(
+                decoded_planes[1], (height, width)
+            )
+            cr = color_mod.batch_upsample_420(
+                decoded_planes[2], (height, width)
+            )
+        else:
+            cb, cr = decoded_planes[1], decoded_planes[2]
+        reconstructed = color_mod.ycbcr_to_rgb(
+            np.stack([luma, cb, cr], axis=-1)
+        )
+        header = self._cached_header_bytes()
+        return [
+            CompressionResult(
+                payload_bytes=int(payloads[index]),
+                header_bytes=header,
+                original_bytes=int(height * width * 3),
+                reconstructed=reconstructed[index],
+            )
+            for index in range(count)
+        ]
 
     def header_bytes(self, coders: "list[_ChannelCoder]" = None) -> int:
         """Marker-segment overhead of a three-component baseline file."""
@@ -850,27 +923,6 @@ def _optimized_channel_coder(
         HuffmanTable.from_frequencies(dc_counts, "dc-optimized"),
         HuffmanTable.from_frequencies(ac_counts, "ac-optimized"),
     )
-
-
-def _blocked_view(shifted: np.ndarray) -> tuple:
-    """8x8-block a level-shifted ``(N, H, W)`` stack without copying.
-
-    Pads by edge replication to block multiples and returns a
-    ``(N, rows, cols, 8, 8)`` view plus the ``(rows, cols)`` grid shape;
-    the single shared blocking implementation behind both the per-image
-    and the batch pipelines.
-    """
-    count, height, width = shifted.shape
-    pad_h = (-height) % 8
-    pad_w = (-width) % 8
-    if pad_h or pad_w:
-        shifted = np.pad(
-            shifted, ((0, 0), (0, pad_h), (0, pad_w)), mode="edge"
-        )
-    rows = shifted.shape[1] // 8
-    cols = shifted.shape[2] // 8
-    blocked = shifted.reshape(count, rows, 8, cols, 8).transpose(0, 1, 3, 2, 4)
-    return blocked, (rows, cols)
 
 
 def _require_grayscale(image: np.ndarray) -> np.ndarray:

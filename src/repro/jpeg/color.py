@@ -17,18 +17,20 @@ _KB = 0.114
 
 
 def rgb_to_ycbcr(rgb: np.ndarray) -> np.ndarray:
-    """Convert an ``(H, W, 3)`` RGB image to YCbCr.
+    """Convert an ``(..., H, W, 3)`` RGB image (or stack) to YCbCr.
 
     Parameters
     ----------
     rgb:
-        Array of shape ``(H, W, 3)`` with values in ``[0, 255]`` (any float
-        or integer dtype).
+        Array of shape ``(H, W, 3)`` — or any stack with trailing channel
+        axis, e.g. ``(N, H, W, 3)`` — with values in ``[0, 255]`` (any
+        float or integer dtype).  The conversion is elementwise, so a
+        whole dataset converts in one vectorized call.
 
     Returns
     -------
     numpy.ndarray
-        Float64 array of shape ``(H, W, 3)``; channel 0 is luma Y in
+        Float64 array of the same shape; channel 0 is luma Y in
         ``[0, 255]``, channels 1 and 2 are Cb and Cr centred on 128.
     """
     rgb = _require_color_image(rgb)
@@ -41,8 +43,19 @@ def rgb_to_ycbcr(rgb: np.ndarray) -> np.ndarray:
     return np.stack([y, cb, cr], axis=-1)
 
 
+def rgb_to_luma(rgb: np.ndarray) -> np.ndarray:
+    """Luma (Y) channel of an ``(..., H, W, 3)`` RGB image or stack.
+
+    Identical to ``rgb_to_ycbcr(rgb)[..., 0]`` (same BT.601 weighted sum
+    in the same order) without materializing the Cb/Cr planes — the
+    frequency analysis of whole colour datasets only needs Y.
+    """
+    rgb = _require_color_image(rgb)
+    return _KR * rgb[..., 0] + _KG * rgb[..., 1] + _KB * rgb[..., 2]
+
+
 def ycbcr_to_rgb(ycbcr: np.ndarray) -> np.ndarray:
-    """Convert an ``(H, W, 3)`` YCbCr image back to RGB.
+    """Convert an ``(..., H, W, 3)`` YCbCr image (or stack) back to RGB.
 
     Values are clipped to ``[0, 255]``; the output dtype is float64 so the
     caller decides when (or whether) to round to integers.
@@ -95,10 +108,45 @@ def upsample_420(channel: np.ndarray, shape: tuple) -> np.ndarray:
     return upsampled[:height, :width]
 
 
+def batch_subsample_420(channels: np.ndarray) -> np.ndarray:
+    """4:2:0-subsample a stack ``(N, H, W)`` of chroma channels at once.
+
+    Per-image results are bit-identical to :func:`subsample_420` (same
+    2x2 means in the same order); odd dimensions are edge-replicated.
+    """
+    channels = np.asarray(channels, dtype=np.float64)
+    if channels.ndim != 3:
+        raise ValueError(
+            f"expected an (N, H, W) channel stack, got shape {channels.shape}"
+        )
+    _, height, width = channels.shape
+    pad_h = height % 2
+    pad_w = width % 2
+    if pad_h or pad_w:
+        channels = np.pad(
+            channels, ((0, 0), (0, pad_h), (0, pad_w)), mode="edge"
+        )
+    return channels.reshape(
+        channels.shape[0], channels.shape[1] // 2, 2, channels.shape[2] // 2, 2
+    ).mean(axis=(2, 4))
+
+
+def batch_upsample_420(channels: np.ndarray, shape: tuple) -> np.ndarray:
+    """Invert :func:`batch_subsample_420` by nearest-neighbour replication."""
+    channels = np.asarray(channels, dtype=np.float64)
+    if channels.ndim != 3:
+        raise ValueError(
+            f"expected an (N, H, W) channel stack, got shape {channels.shape}"
+        )
+    height, width = shape
+    upsampled = np.repeat(np.repeat(channels, 2, axis=1), 2, axis=2)
+    return upsampled[:, :height, :width]
+
+
 def _require_color_image(image: np.ndarray) -> np.ndarray:
     image = np.asarray(image, dtype=np.float64)
-    if image.ndim != 3 or image.shape[-1] != 3:
+    if image.ndim < 3 or image.shape[-1] != 3:
         raise ValueError(
-            f"expected an (H, W, 3) colour image, got shape {image.shape}"
+            f"expected an (..., H, W, 3) colour image, got shape {image.shape}"
         )
     return image

@@ -18,6 +18,7 @@ Quick use::
 """
 
 from repro.nn import models
+from repro.nn.dtype import DEFAULT_DTYPE, REFERENCE_DTYPE, resolve_dtype
 from repro.nn.layers import (
     AvgPool2D,
     BatchNorm2D,
@@ -42,6 +43,8 @@ __all__ = [
     "AvgPool2D",
     "BatchNorm2D",
     "Conv2D",
+    "DEFAULT_DTYPE",
+    "REFERENCE_DTYPE",
     "Dense",
     "Dropout",
     "Flatten",
@@ -55,6 +58,7 @@ __all__ = [
     "SGD",
     "Sequential",
     "SoftmaxCrossEntropy",
+    "resolve_dtype",
     "Trainer",
     "TrainingHistory",
     "models",

@@ -1,10 +1,17 @@
-"""Activation layers."""
+"""Activation layers.
+
+Activations are dtype-preserving: they compute in whatever float dtype
+flows in (float32 fast mode or float64 reference mode) instead of
+casting, so the compute dtype chosen at the model level governs the
+whole stack.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
 from repro.nn.base import Layer
+from repro.nn.dtype import as_float
 
 
 class ReLU(Layer):
@@ -14,14 +21,14 @@ class ReLU(Layer):
         self._mask = None
 
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
-        inputs = np.asarray(inputs, dtype=np.float64)
+        inputs = as_float(inputs)
         self._mask = inputs > 0
         return inputs * self._mask
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._mask is None:
             raise RuntimeError("backward called before forward")
-        return np.asarray(grad_output, dtype=np.float64) * self._mask
+        return as_float(grad_output) * self._mask
 
 
 class LeakyReLU(Layer):
@@ -34,14 +41,14 @@ class LeakyReLU(Layer):
         self._mask = None
 
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
-        inputs = np.asarray(inputs, dtype=np.float64)
+        inputs = as_float(inputs)
         self._mask = inputs > 0
         return np.where(self._mask, inputs, self.negative_slope * inputs)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._mask is None:
             raise RuntimeError("backward called before forward")
-        grad_output = np.asarray(grad_output, dtype=np.float64)
+        grad_output = as_float(grad_output)
         return np.where(self._mask, grad_output, self.negative_slope * grad_output)
 
 
@@ -52,10 +59,10 @@ class Tanh(Layer):
         self._output = None
 
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
-        self._output = np.tanh(np.asarray(inputs, dtype=np.float64))
+        self._output = np.tanh(as_float(inputs))
         return self._output
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._output is None:
             raise RuntimeError("backward called before forward")
-        return np.asarray(grad_output, dtype=np.float64) * (1.0 - self._output ** 2)
+        return as_float(grad_output) * (1.0 - self._output ** 2)

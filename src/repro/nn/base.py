@@ -10,14 +10,27 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.dtype import REFERENCE_DTYPE, resolve_dtype
+
 
 class Parameter:
-    """A trainable tensor and its accumulated gradient."""
+    """A trainable tensor and its accumulated gradient.
 
-    def __init__(self, value: np.ndarray, name: str = "param") -> None:
-        self.value = np.asarray(value, dtype=np.float64)
+    ``dtype`` fixes the compute dtype of the value and gradient buffers
+    (float32 fast mode or float64 reference mode); ``None`` keeps the
+    historical float64 default.
+    """
+
+    def __init__(
+        self, value: np.ndarray, name: str = "param", dtype=None
+    ) -> None:
+        self.value = np.asarray(value, dtype=resolve_dtype(dtype))
         self.grad = np.zeros_like(self.value)
         self.name = name
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.value.dtype
 
     def zero_grad(self) -> None:
         """Reset the accumulated gradient to zero."""
@@ -85,11 +98,25 @@ class Sequential(Layer):
             outputs = layer.forward(outputs, training=training)
         return outputs
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+    def backward(
+        self, grad_output: np.ndarray, need_input_grad: bool = True
+    ) -> np.ndarray:
+        """Backpropagate through all layers.
+
+        With ``need_input_grad=False`` the first layer may skip computing
+        the gradient with respect to the network input (the training loop
+        discards it; the saliency analysis, which needs it, keeps the
+        default).  Layers advertise support via ``backward_params_only``.
+        """
         grad = grad_output
-        for layer in reversed(self.layers):
-            grad = layer.backward(grad)
-        return grad
+        for index in range(len(self.layers) - 1, 0, -1):
+            grad = self.layers[index].backward(grad)
+        if not self.layers:
+            return grad
+        first = self.layers[0]
+        if not need_input_grad and hasattr(first, "backward_params_only"):
+            return first.backward_params_only(grad)
+        return first.backward(grad)
 
     def parameters(self) -> "list[Parameter]":
         params = []
@@ -97,11 +124,18 @@ class Sequential(Layer):
             params.extend(layer.parameters())
         return params
 
+    @property
+    def dtype(self) -> np.dtype:
+        """Compute dtype of the model (dtype of its first parameter)."""
+        for parameter in self.parameters():
+            return parameter.dtype
+        return REFERENCE_DTYPE
+
     def predict_proba(self, inputs: np.ndarray, batch_size: int = 64) -> np.ndarray:
         """Class probabilities for a batch of inputs (inference mode)."""
         from repro.nn.losses import softmax
 
-        inputs = np.asarray(inputs, dtype=np.float64)
+        inputs = np.asarray(inputs, dtype=self.dtype)
         outputs = []
         for start in range(0, inputs.shape[0], batch_size):
             logits = self.forward(inputs[start:start + batch_size], training=False)

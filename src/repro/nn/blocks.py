@@ -11,6 +11,7 @@ import numpy as np
 from repro.nn.activations import ReLU
 from repro.nn.base import Layer, Parameter, Sequential
 from repro.nn.conv import Conv2D
+from repro.nn.dtype import as_float, resolve_dtype
 from repro.nn.norm import BatchNorm2D
 
 
@@ -30,17 +31,19 @@ class ResidualBlock(Layer):
         stride: int = 1,
         rng: np.random.Generator = None,
         name: str = "residual",
+        dtype=None,
     ) -> None:
         rng = rng if rng is not None else np.random.default_rng()
+        dtype = resolve_dtype(dtype)
         self.body = Sequential(
             [
                 Conv2D(in_channels, out_channels, 3, stride=stride, padding=1,
-                       rng=rng, name=f"{name}.conv1"),
-                BatchNorm2D(out_channels, name=f"{name}.bn1"),
+                       rng=rng, name=f"{name}.conv1", dtype=dtype),
+                BatchNorm2D(out_channels, name=f"{name}.bn1", dtype=dtype),
                 ReLU(),
                 Conv2D(out_channels, out_channels, 3, stride=1, padding=1,
-                       rng=rng, name=f"{name}.conv2"),
-                BatchNorm2D(out_channels, name=f"{name}.bn2"),
+                       rng=rng, name=f"{name}.conv2", dtype=dtype),
+                BatchNorm2D(out_channels, name=f"{name}.bn2", dtype=dtype),
             ],
             name=f"{name}.body",
         )
@@ -48,8 +51,10 @@ class ResidualBlock(Layer):
             self.shortcut = Sequential(
                 [
                     Conv2D(in_channels, out_channels, 1, stride=stride,
-                           padding=0, rng=rng, name=f"{name}.proj"),
-                    BatchNorm2D(out_channels, name=f"{name}.proj_bn"),
+                           padding=0, rng=rng, name=f"{name}.proj",
+                           dtype=dtype),
+                    BatchNorm2D(out_channels, name=f"{name}.proj_bn",
+                                dtype=dtype),
                 ],
                 name=f"{name}.shortcut",
             )
@@ -70,7 +75,7 @@ class ResidualBlock(Layer):
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._final_relu_mask is None:
             raise RuntimeError("backward called before forward")
-        grad_sum = np.asarray(grad_output, dtype=np.float64) * self._final_relu_mask
+        grad_sum = as_float(grad_output) * self._final_relu_mask
         grad_body = self.body.backward(grad_sum)
         if self.shortcut is not None:
             grad_shortcut = self.shortcut.backward(grad_sum)
@@ -105,32 +110,34 @@ class InceptionBlock(Layer):
         pool_proj_channels: int,
         rng: np.random.Generator = None,
         name: str = "inception",
+        dtype=None,
     ) -> None:
         rng = rng if rng is not None else np.random.default_rng()
+        dtype = resolve_dtype(dtype)
         self.branch1 = Sequential(
             [
                 Conv2D(in_channels, branch1_channels, 1, rng=rng,
-                       name=f"{name}.b1"),
+                       name=f"{name}.b1", dtype=dtype),
                 ReLU(),
             ]
         )
         self.branch3 = Sequential(
             [
                 Conv2D(in_channels, branch3_reduce, 1, rng=rng,
-                       name=f"{name}.b3r"),
+                       name=f"{name}.b3r", dtype=dtype),
                 ReLU(),
                 Conv2D(branch3_reduce, branch3_channels, 3, padding=1, rng=rng,
-                       name=f"{name}.b3"),
+                       name=f"{name}.b3", dtype=dtype),
                 ReLU(),
             ]
         )
         self.branch5 = Sequential(
             [
                 Conv2D(in_channels, branch5_reduce, 1, rng=rng,
-                       name=f"{name}.b5r"),
+                       name=f"{name}.b5r", dtype=dtype),
                 ReLU(),
                 Conv2D(branch5_reduce, branch5_channels, 5, padding=2, rng=rng,
-                       name=f"{name}.b5"),
+                       name=f"{name}.b5", dtype=dtype),
                 ReLU(),
             ]
         )
@@ -138,7 +145,7 @@ class InceptionBlock(Layer):
             [
                 _PaddedMaxPool(),
                 Conv2D(in_channels, pool_proj_channels, 1, rng=rng,
-                       name=f"{name}.bp"),
+                       name=f"{name}.bp", dtype=dtype),
                 ReLU(),
             ]
         )
@@ -160,7 +167,7 @@ class InceptionBlock(Layer):
         return np.concatenate(outputs, axis=1)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        grad_output = np.asarray(grad_output, dtype=np.float64)
+        grad_output = as_float(grad_output)
         grads = []
         start = 0
         branches = [self.branch1, self.branch3, self.branch5, self.branch_pool]
@@ -189,13 +196,15 @@ class _PaddedMaxPool(Layer):
         self._cache = None
 
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
-        inputs = np.asarray(inputs, dtype=np.float64)
+        inputs = as_float(inputs)
         padded = np.pad(
             inputs, ((0, 0), (0, 0), (1, 1), (1, 1)), mode="constant",
             constant_values=-np.inf,
         )
         batch, channels, height, width = inputs.shape
-        windows = np.full((9, batch, channels, height, width), -np.inf)
+        windows = np.empty(
+            (9, batch, channels, height, width), dtype=inputs.dtype
+        )
         index = 0
         for dy in range(3):
             for dx in range(3):
@@ -210,9 +219,11 @@ class _PaddedMaxPool(Layer):
         if self._cache is None:
             raise RuntimeError("backward called before forward")
         input_shape, argmax = self._cache
-        grad_output = np.asarray(grad_output, dtype=np.float64)
+        grad_output = as_float(grad_output)
         batch, channels, height, width = input_shape
-        grad_padded = np.zeros((batch, channels, height + 2, width + 2))
+        grad_padded = np.zeros(
+            (batch, channels, height + 2, width + 2), dtype=grad_output.dtype
+        )
         for index in range(9):
             dy, dx = divmod(index, 3)
             mask = argmax == index

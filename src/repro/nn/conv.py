@@ -5,7 +5,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.base import Layer, Parameter
-from repro.nn.im2col import col2im, conv_output_size, im2col
+from repro.nn.dtype import resolve_dtype
+from repro.nn.im2col import col2im_patches, conv_output_size, im2col_patches
 from repro.nn.init import he_normal
 
 
@@ -23,6 +24,18 @@ class Conv2D(Layer):
     rng:
         Source of randomness for weight initialisation; pass a seeded
         generator for reproducible models.
+    dtype:
+        Compute dtype of the layer (weights, activations, gradients);
+        ``None`` keeps the float64 reference mode.
+
+    The forward pass is one batched GEMM over the channel-major patch
+    tensor of :func:`~repro.nn.im2col.im2col_patches`, producing
+    NCHW-contiguous outputs with no transpose.  The patch tensor — the
+    layer's dominant allocation — is written into one scratch buffer
+    reused across steps.  In inference mode (``training=False``) the
+    patches are not cached at all; only a reference to the input is
+    kept, so a (rare) backward pass after an inference forward (the
+    saliency analysis) recomputes them on demand.
     """
 
     def __init__(
@@ -34,6 +47,7 @@ class Conv2D(Layer):
         padding: int = 0,
         rng: np.random.Generator = None,
         name: str = "conv",
+        dtype=None,
     ) -> None:
         if in_channels <= 0 or out_channels <= 0 or kernel_size <= 0:
             raise ValueError("channel counts and kernel size must be positive")
@@ -45,20 +59,39 @@ class Conv2D(Layer):
         self.kernel_size = kernel_size
         self.stride = stride
         self.padding = padding
+        self.dtype = resolve_dtype(dtype)
         fan_in = in_channels * kernel_size * kernel_size
         self.weight = Parameter(
             he_normal(
                 (out_channels, in_channels, kernel_size, kernel_size),
                 fan_in,
                 rng,
+                dtype=self.dtype,
             ),
             name=f"{name}.weight",
+            dtype=self.dtype,
         )
-        self.bias = Parameter(np.zeros(out_channels), name=f"{name}.bias")
+        self.bias = Parameter(
+            np.zeros(out_channels), name=f"{name}.bias", dtype=self.dtype
+        )
         self._cache = None
+        self._patch_scratch = None
+        self._grad_patch_scratch = None
+
+    def _patches(self, inputs: np.ndarray) -> np.ndarray:
+        patches = im2col_patches(
+            inputs,
+            self.kernel_size,
+            self.kernel_size,
+            self.stride,
+            self.padding,
+            out=self._patch_scratch,
+        )
+        self._patch_scratch = patches
+        return patches
 
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
-        inputs = np.asarray(inputs, dtype=np.float64)
+        inputs = np.asarray(inputs, dtype=self.dtype)
         if inputs.ndim != 4 or inputs.shape[1] != self.in_channels:
             raise ValueError(
                 f"expected (N, {self.in_channels}, H, W) input, got {inputs.shape}"
@@ -66,33 +99,57 @@ class Conv2D(Layer):
         batch, _, height, width = inputs.shape
         out_h = conv_output_size(height, self.kernel_size, self.stride, self.padding)
         out_w = conv_output_size(width, self.kernel_size, self.stride, self.padding)
-        columns = im2col(
-            inputs, self.kernel_size, self.kernel_size, self.stride, self.padding
-        )
+        patches = self._patches(inputs)
         kernel_matrix = self.weight.value.reshape(self.out_channels, -1)
-        outputs = columns @ kernel_matrix.T + self.bias.value
-        outputs = outputs.reshape(batch, out_h, out_w, self.out_channels)
-        outputs = outputs.transpose(0, 3, 1, 2)
-        self._cache = (inputs.shape, columns)
-        return outputs
+        outputs = np.matmul(kernel_matrix, patches)
+        outputs += self.bias.value[:, None]
+        if training:
+            self._cache = (inputs.shape, patches, None)
+        else:
+            self._cache = (inputs.shape, None, inputs)
+        return outputs.reshape(batch, self.out_channels, out_h, out_w)
 
-    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+    def backward_params_only(self, grad_output: np.ndarray) -> None:
+        """Accumulate weight/bias gradients without the input gradient.
+
+        Used by the training loop for the network's first layer, whose
+        input gradient nobody consumes — skipping it avoids the col2im
+        scatter and one GEMM per step.
+        """
+        self._accumulate_param_grads(grad_output)
+        return None
+
+    def _accumulate_param_grads(self, grad_output: np.ndarray) -> tuple:
         if self._cache is None:
             raise RuntimeError("backward called before forward")
-        input_shape, columns = self._cache
-        grad_output = np.asarray(grad_output, dtype=np.float64)
+        input_shape, patches, inputs = self._cache
+        if patches is None:
+            patches = self._patches(inputs)
+        grad_output = np.asarray(grad_output, dtype=self.dtype)
         batch, _, out_h, out_w = grad_output.shape
-        grad_matrix = grad_output.transpose(0, 2, 3, 1).reshape(
-            batch * out_h * out_w, self.out_channels
+        grad_matrix = grad_output.reshape(
+            batch, self.out_channels, out_h * out_w
+        )
+        self.weight.grad += np.matmul(
+            grad_matrix, patches.transpose(0, 2, 1)
+        ).sum(axis=0).reshape(self.weight.value.shape)
+        self.bias.grad += grad_matrix.sum(axis=(0, 2))
+        return input_shape, patches, grad_matrix
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        input_shape, patches, grad_matrix = self._accumulate_param_grads(
+            grad_output
         )
         kernel_matrix = self.weight.value.reshape(self.out_channels, -1)
-        self.weight.grad += (grad_matrix.T @ columns).reshape(
-            self.weight.value.shape
-        )
-        self.bias.grad += grad_matrix.sum(axis=0)
-        grad_columns = grad_matrix @ kernel_matrix
-        return col2im(
-            grad_columns,
+        scratch = self._grad_patch_scratch
+        if scratch is None or scratch.shape != patches.shape or (
+            scratch.dtype != patches.dtype
+        ):
+            scratch = np.empty_like(patches)
+            self._grad_patch_scratch = scratch
+        grad_patches = np.matmul(kernel_matrix.T, grad_matrix, out=scratch)
+        return col2im_patches(
+            grad_patches,
             input_shape,
             self.kernel_size,
             self.kernel_size,

@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.base import Layer, Parameter
+from repro.nn.dtype import as_float, resolve_dtype
 from repro.nn.init import he_normal
 
 
@@ -17,21 +18,29 @@ class Dense(Layer):
         out_features: int,
         rng: np.random.Generator = None,
         name: str = "dense",
+        dtype=None,
     ) -> None:
         if in_features <= 0 or out_features <= 0:
             raise ValueError("feature counts must be positive")
         rng = rng if rng is not None else np.random.default_rng()
         self.in_features = in_features
         self.out_features = out_features
+        self.dtype = resolve_dtype(dtype)
         self.weight = Parameter(
-            he_normal((in_features, out_features), in_features, rng),
+            he_normal(
+                (in_features, out_features), in_features, rng,
+                dtype=self.dtype,
+            ),
             name=f"{name}.weight",
+            dtype=self.dtype,
         )
-        self.bias = Parameter(np.zeros(out_features), name=f"{name}.bias")
+        self.bias = Parameter(
+            np.zeros(out_features), name=f"{name}.bias", dtype=self.dtype
+        )
         self._inputs = None
 
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
-        inputs = np.asarray(inputs, dtype=np.float64)
+        inputs = np.asarray(inputs, dtype=self.dtype)
         if inputs.ndim != 2 or inputs.shape[1] != self.in_features:
             raise ValueError(
                 f"expected (N, {self.in_features}) input, got {inputs.shape}"
@@ -42,7 +51,7 @@ class Dense(Layer):
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._inputs is None:
             raise RuntimeError("backward called before forward")
-        grad_output = np.asarray(grad_output, dtype=np.float64)
+        grad_output = np.asarray(grad_output, dtype=self.dtype)
         self.weight.grad += self._inputs.T @ grad_output
         self.bias.grad += grad_output.sum(axis=0)
         return grad_output @ self.weight.value.T
@@ -58,11 +67,11 @@ class Flatten(Layer):
         self._input_shape = None
 
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
-        inputs = np.asarray(inputs, dtype=np.float64)
+        inputs = as_float(inputs)
         self._input_shape = inputs.shape
         return inputs.reshape(inputs.shape[0], -1)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._input_shape is None:
             raise RuntimeError("backward called before forward")
-        return np.asarray(grad_output, dtype=np.float64).reshape(self._input_shape)
+        return as_float(grad_output).reshape(self._input_shape)

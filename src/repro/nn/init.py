@@ -4,22 +4,31 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.dtype import resolve_dtype
+
 
 def he_normal(
-    shape: tuple, fan_in: int, rng: np.random.Generator
+    shape: tuple, fan_in: int, rng: np.random.Generator, dtype=None
 ) -> np.ndarray:
-    """He/Kaiming normal initialisation, suited to ReLU networks."""
+    """He/Kaiming normal initialisation, suited to ReLU networks.
+
+    Samples are always drawn in float64 (so a given seed yields the same
+    weights in every compute dtype) and cast to ``dtype`` afterwards.
+    """
     if fan_in <= 0:
         raise ValueError("fan_in must be positive")
     scale = np.sqrt(2.0 / fan_in)
-    return rng.normal(0.0, scale, size=shape)
+    values = rng.normal(0.0, scale, size=shape)
+    return values.astype(resolve_dtype(dtype), copy=False)
 
 
 def xavier_uniform(
-    shape: tuple, fan_in: int, fan_out: int, rng: np.random.Generator
+    shape: tuple, fan_in: int, fan_out: int, rng: np.random.Generator,
+    dtype=None,
 ) -> np.ndarray:
     """Glorot/Xavier uniform initialisation."""
     if fan_in <= 0 or fan_out <= 0:
         raise ValueError("fan_in and fan_out must be positive")
     limit = np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-limit, limit, size=shape)
+    values = rng.uniform(-limit, limit, size=shape)
+    return values.astype(resolve_dtype(dtype), copy=False)

@@ -4,10 +4,15 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.nn.dtype import as_float
+
 
 def softmax(logits: np.ndarray) -> np.ndarray:
-    """Row-wise softmax with the usual max-subtraction for stability."""
-    logits = np.asarray(logits, dtype=np.float64)
+    """Row-wise softmax with the usual max-subtraction for stability.
+
+    Dtype-preserving: float32 logits yield float32 probabilities.
+    """
+    logits = as_float(logits)
     shifted = logits - logits.max(axis=-1, keepdims=True)
     exponentials = np.exp(shifted)
     return exponentials / exponentials.sum(axis=-1, keepdims=True)
@@ -22,7 +27,7 @@ class SoftmaxCrossEntropy:
 
     def forward(self, logits: np.ndarray, labels: np.ndarray) -> float:
         """Mean cross-entropy of ``logits`` (N, C) against labels (N,)."""
-        logits = np.asarray(logits, dtype=np.float64)
+        logits = as_float(logits)
         labels = np.asarray(labels, dtype=np.intp)
         if logits.ndim != 2:
             raise ValueError(f"expected (N, C) logits, got shape {logits.shape}")

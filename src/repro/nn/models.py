@@ -8,8 +8,11 @@ defining structure — plain deep convolution stacks with large dense heads
 identity shortcuts (ResNet) — at a scale that trains in seconds on the
 synthetic frequency-structured dataset of :mod:`repro.data`.
 
-Every builder takes ``num_classes``, ``input_shape`` (CHW) and a ``seed``
-so experiments are reproducible, and returns a
+Every builder takes ``num_classes``, ``input_shape`` (CHW), a ``seed``
+so experiments are reproducible, and a ``dtype`` selecting the compute
+dtype of the whole stack (default
+:data:`~repro.nn.dtype.DEFAULT_DTYPE`, float32; pass ``"float64"`` for
+the bit-exact reference mode), and returns a
 :class:`~repro.nn.base.Sequential` model.
 """
 
@@ -22,6 +25,7 @@ from repro.nn.base import Sequential
 from repro.nn.blocks import InceptionBlock, ResidualBlock
 from repro.nn.conv import Conv2D
 from repro.nn.dense import Dense, Flatten
+from repro.nn.dtype import DEFAULT_DTYPE, resolve_dtype
 from repro.nn.norm import BatchNorm2D
 from repro.nn.pooling import GlobalAvgPool2D, MaxPool2D
 from repro.nn.regularization import Dropout
@@ -44,29 +48,35 @@ def alexnet_mini(
     input_shape: tuple = (1, 32, 32),
     seed: int = 0,
     base_channels: int = 12,
+    dtype=None,
 ) -> Sequential:
     """A small AlexNet-style network: conv/pool stack plus dense head."""
     channels, height, width = input_shape
     rng = np.random.default_rng(seed)
+    dtype = resolve_dtype(dtype, default=DEFAULT_DTYPE)
     final_h = _spatial_after(height, 3)
     final_w = _spatial_after(width, 3)
     widest = base_channels * 2
     return Sequential(
         [
-            Conv2D(channels, base_channels, 5, padding=2, rng=rng, name="conv1"),
+            Conv2D(channels, base_channels, 5, padding=2, rng=rng, name="conv1",
+                   dtype=dtype),
             ReLU(),
             MaxPool2D(2),
-            Conv2D(base_channels, widest, 3, padding=1, rng=rng, name="conv2"),
+            Conv2D(base_channels, widest, 3, padding=1, rng=rng, name="conv2",
+                   dtype=dtype),
             ReLU(),
             MaxPool2D(2),
-            Conv2D(widest, widest, 3, padding=1, rng=rng, name="conv3"),
+            Conv2D(widest, widest, 3, padding=1, rng=rng, name="conv3",
+                   dtype=dtype),
             ReLU(),
             MaxPool2D(2),
             Flatten(),
-            Dense(widest * final_h * final_w, 96, rng=rng, name="fc1"),
+            Dense(widest * final_h * final_w, 96, rng=rng, name="fc1",
+                  dtype=dtype),
             ReLU(),
             Dropout(0.3, rng=rng),
-            Dense(96, num_classes, rng=rng, name="fc2"),
+            Dense(96, num_classes, rng=rng, name="fc2", dtype=dtype),
         ],
         name="alexnet_mini",
     )
@@ -77,33 +87,36 @@ def vgg_mini(
     input_shape: tuple = (1, 32, 32),
     seed: int = 0,
     base_channels: int = 10,
+    dtype=None,
 ) -> Sequential:
     """A small VGG-style network: stacked 3x3 convolutions in stages."""
     channels, height, width = input_shape
     rng = np.random.default_rng(seed)
+    dtype = resolve_dtype(dtype, default=DEFAULT_DTYPE)
     final_h = _spatial_after(height, 3)
     final_w = _spatial_after(width, 3)
     c1, c2, c3 = base_channels, base_channels * 2, base_channels * 2
     return Sequential(
         [
-            Conv2D(channels, c1, 3, padding=1, rng=rng, name="conv1_1"),
+            Conv2D(channels, c1, 3, padding=1, rng=rng, name="conv1_1",
+                   dtype=dtype),
             ReLU(),
-            Conv2D(c1, c1, 3, padding=1, rng=rng, name="conv1_2"),
-            ReLU(),
-            MaxPool2D(2),
-            Conv2D(c1, c2, 3, padding=1, rng=rng, name="conv2_1"),
-            ReLU(),
-            Conv2D(c2, c2, 3, padding=1, rng=rng, name="conv2_2"),
+            Conv2D(c1, c1, 3, padding=1, rng=rng, name="conv1_2", dtype=dtype),
             ReLU(),
             MaxPool2D(2),
-            Conv2D(c2, c3, 3, padding=1, rng=rng, name="conv3_1"),
+            Conv2D(c1, c2, 3, padding=1, rng=rng, name="conv2_1", dtype=dtype),
+            ReLU(),
+            Conv2D(c2, c2, 3, padding=1, rng=rng, name="conv2_2", dtype=dtype),
+            ReLU(),
+            MaxPool2D(2),
+            Conv2D(c2, c3, 3, padding=1, rng=rng, name="conv3_1", dtype=dtype),
             ReLU(),
             MaxPool2D(2),
             Flatten(),
-            Dense(c3 * final_h * final_w, 96, rng=rng, name="fc1"),
+            Dense(c3 * final_h * final_w, 96, rng=rng, name="fc1", dtype=dtype),
             ReLU(),
             Dropout(0.3, rng=rng),
-            Dense(96, num_classes, rng=rng, name="fc2"),
+            Dense(96, num_classes, rng=rng, name="fc2", dtype=dtype),
         ],
         name="vgg_mini",
     )
@@ -115,6 +128,7 @@ def resnet_mini(
     seed: int = 0,
     blocks_per_stage: tuple = (1, 1),
     base_channels: int = 12,
+    dtype=None,
 ) -> Sequential:
     """A small ResNet-style network built from residual basic blocks.
 
@@ -123,9 +137,11 @@ def resnet_mini(
     """
     channels, _, _ = input_shape
     rng = np.random.default_rng(seed)
+    dtype = resolve_dtype(dtype, default=DEFAULT_DTYPE)
     layers = [
-        Conv2D(channels, base_channels, 3, padding=1, rng=rng, name="stem"),
-        BatchNorm2D(base_channels, name="stem_bn"),
+        Conv2D(channels, base_channels, 3, padding=1, rng=rng, name="stem",
+               dtype=dtype),
+        BatchNorm2D(base_channels, name="stem_bn", dtype=dtype),
         ReLU(),
     ]
     in_channels = base_channels
@@ -140,33 +156,38 @@ def resnet_mini(
                     stride=stride,
                     rng=rng,
                     name=f"stage{stage_index}_block{block_index}",
+                    dtype=dtype,
                 )
             )
             in_channels = out_channels
     layers.extend(
         [
             GlobalAvgPool2D(),
-            Dense(in_channels, num_classes, rng=rng, name="fc"),
+            Dense(in_channels, num_classes, rng=rng, name="fc", dtype=dtype),
         ]
     )
     return Sequential(layers, name=f"resnet_mini_{sum(blocks_per_stage) * 2 + 2}")
 
 
 def resnet34_mini(
-    num_classes: int = 8, input_shape: tuple = (1, 32, 32), seed: int = 0
+    num_classes: int = 8, input_shape: tuple = (1, 32, 32), seed: int = 0,
+    dtype=None,
 ) -> Sequential:
     """Shallow residual stand-in for ResNet-34 in Fig. 8."""
     return resnet_mini(
-        num_classes, input_shape, seed=seed, blocks_per_stage=(1, 1)
+        num_classes, input_shape, seed=seed, blocks_per_stage=(1, 1),
+        dtype=dtype,
     )
 
 
 def resnet50_mini(
-    num_classes: int = 8, input_shape: tuple = (1, 32, 32), seed: int = 0
+    num_classes: int = 8, input_shape: tuple = (1, 32, 32), seed: int = 0,
+    dtype=None,
 ) -> Sequential:
     """Deeper residual stand-in for ResNet-50 in Fig. 8."""
     return resnet_mini(
-        num_classes, input_shape, seed=seed, blocks_per_stage=(2, 2)
+        num_classes, input_shape, seed=seed, blocks_per_stage=(2, 2),
+        dtype=dtype,
     )
 
 
@@ -175,19 +196,24 @@ def googlenet_mini(
     input_shape: tuple = (1, 32, 32),
     seed: int = 0,
     base_channels: int = 12,
+    dtype=None,
 ) -> Sequential:
     """A small GoogLeNet-style network with two inception modules."""
     channels, _, _ = input_shape
     rng = np.random.default_rng(seed)
+    dtype = resolve_dtype(dtype, default=DEFAULT_DTYPE)
     inception1 = InceptionBlock(
-        base_channels, 6, 4, 8, 2, 4, 4, rng=rng, name="inception1"
+        base_channels, 6, 4, 8, 2, 4, 4, rng=rng, name="inception1",
+        dtype=dtype,
     )
     inception2 = InceptionBlock(
-        inception1.out_channels, 8, 4, 12, 2, 4, 4, rng=rng, name="inception2"
+        inception1.out_channels, 8, 4, 12, 2, 4, 4, rng=rng, name="inception2",
+        dtype=dtype,
     )
     return Sequential(
         [
-            Conv2D(channels, base_channels, 3, padding=1, rng=rng, name="stem"),
+            Conv2D(channels, base_channels, 3, padding=1, rng=rng, name="stem",
+                   dtype=dtype),
             ReLU(),
             MaxPool2D(2),
             inception1,
@@ -195,7 +221,8 @@ def googlenet_mini(
             inception2,
             GlobalAvgPool2D(),
             Dropout(0.2, rng=rng),
-            Dense(inception2.out_channels, num_classes, rng=rng, name="fc"),
+            Dense(inception2.out_channels, num_classes, rng=rng, name="fc",
+                  dtype=dtype),
         ],
         name="googlenet_mini",
     )
@@ -217,11 +244,20 @@ def build_model(
     num_classes: int = 8,
     input_shape: tuple = (1, 32, 32),
     seed: int = 0,
+    dtype=None,
 ) -> Sequential:
-    """Build a model from :data:`MODEL_BUILDERS` by paper name."""
+    """Build a model from :data:`MODEL_BUILDERS` by paper name.
+
+    ``dtype`` is the single compute-dtype knob for the whole stack:
+    ``None`` builds the fast float32 model, ``"float64"`` the reference
+    one.
+    """
     try:
         builder = MODEL_BUILDERS[name]
     except KeyError as exc:
         known = ", ".join(sorted(MODEL_BUILDERS))
         raise KeyError(f"unknown model '{name}'; known models: {known}") from exc
-    return builder(num_classes=num_classes, input_shape=input_shape, seed=seed)
+    return builder(
+        num_classes=num_classes, input_shape=input_shape, seed=seed,
+        dtype=dtype,
+    )

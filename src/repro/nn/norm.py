@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.base import Layer, Parameter
+from repro.nn.dtype import resolve_dtype
 
 
 class BatchNorm2D(Layer):
@@ -23,6 +24,7 @@ class BatchNorm2D(Layer):
         momentum: float = 0.9,
         epsilon: float = 1e-5,
         name: str = "batchnorm",
+        dtype=None,
     ) -> None:
         if num_channels <= 0:
             raise ValueError("num_channels must be positive")
@@ -31,14 +33,19 @@ class BatchNorm2D(Layer):
         self.num_channels = num_channels
         self.momentum = float(momentum)
         self.epsilon = float(epsilon)
-        self.gamma = Parameter(np.ones(num_channels), name=f"{name}.gamma")
-        self.beta = Parameter(np.zeros(num_channels), name=f"{name}.beta")
-        self.running_mean = np.zeros(num_channels)
-        self.running_var = np.ones(num_channels)
+        self.dtype = resolve_dtype(dtype)
+        self.gamma = Parameter(
+            np.ones(num_channels), name=f"{name}.gamma", dtype=self.dtype
+        )
+        self.beta = Parameter(
+            np.zeros(num_channels), name=f"{name}.beta", dtype=self.dtype
+        )
+        self.running_mean = np.zeros(num_channels, dtype=self.dtype)
+        self.running_var = np.ones(num_channels, dtype=self.dtype)
         self._cache = None
 
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
-        inputs = np.asarray(inputs, dtype=np.float64)
+        inputs = np.asarray(inputs, dtype=self.dtype)
         if inputs.ndim != 4 or inputs.shape[1] != self.num_channels:
             raise ValueError(
                 f"expected (N, {self.num_channels}, H, W) input, got {inputs.shape}"
@@ -67,7 +74,7 @@ class BatchNorm2D(Layer):
         if self._cache is None:
             raise RuntimeError("backward called before forward")
         normalized, inv_std, input_shape, was_training = self._cache
-        grad_output = np.asarray(grad_output, dtype=np.float64)
+        grad_output = np.asarray(grad_output, dtype=self.dtype)
         batch, _, height, width = input_shape
         count = batch * height * width
 

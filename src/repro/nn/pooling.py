@@ -1,11 +1,23 @@
-"""Pooling layers (max, average, global average)."""
+"""Pooling layers (max, average, global average).
+
+Window elements are gathered through the zero-copy strided view of
+:func:`repro.nn.im2col.sliding_windows` into one contiguous
+``(N, C, out_h, out_w, pool*pool)`` scratch tensor reused across steps
+(reducing over the strided view directly is several times slower than
+copy-then-reduce), and the reduction runs over the contiguous last
+axis.  The max-pool argmax is only computed when training needs it for
+the backward pass; in inference mode nothing is cached beyond a
+reference to the input, so a (rare) backward after an inference
+forward — the saliency analysis path — recomputes the argmax on demand.
+"""
 
 from __future__ import annotations
 
 import numpy as np
 
 from repro.nn.base import Layer
-from repro.nn.im2col import col2im, conv_output_size, im2col
+from repro.nn.dtype import as_float
+from repro.nn.im2col import conv_output_size, sliding_windows
 
 
 class _Pool2D(Layer):
@@ -19,43 +31,171 @@ class _Pool2D(Layer):
         if self.stride <= 0:
             raise ValueError("stride must be positive")
         self._cache = None
+        self._patch_scratch = None
 
-    def _columns(self, inputs: np.ndarray) -> tuple:
-        inputs = np.asarray(inputs, dtype=np.float64)
+    def _output_dims(self, inputs: np.ndarray) -> tuple:
         if inputs.ndim != 4:
             raise ValueError(f"expected NCHW input, got shape {inputs.shape}")
         batch, channels, height, width = inputs.shape
         out_h = conv_output_size(height, self.pool_size, self.stride, 0)
         out_w = conv_output_size(width, self.pool_size, self.stride, 0)
-        columns = im2col(inputs, self.pool_size, self.pool_size, self.stride, 0)
-        # im2col rows are channel-major, so a plain reshape yields one row per
-        # (sample, output pixel, channel) with pool_size^2 entries.
-        columns = columns.reshape(-1, self.pool_size * self.pool_size)
-        return inputs, columns, (batch, channels, out_h, out_w)
+        return batch, channels, out_h, out_w
+
+    def _windows(self, inputs: np.ndarray) -> np.ndarray:
+        """(N, C, out_h, out_w, pool, pool) strided view of the windows."""
+        return sliding_windows(
+            inputs, self.pool_size, self.pool_size, self.stride, 0
+        )
+
+    def _patches(self, inputs: np.ndarray, dims: tuple) -> np.ndarray:
+        """Contiguous window elements, flattened to (..., pool*pool)."""
+        batch, channels, out_h, out_w = dims
+        window = self.pool_size * self.pool_size
+        shape = (batch, channels, out_h, out_w, window)
+        scratch = self._patch_scratch
+        if scratch is None or scratch.shape != shape or (
+            scratch.dtype != inputs.dtype
+        ):
+            scratch = np.empty(shape, dtype=inputs.dtype)
+            self._patch_scratch = scratch
+        sink = scratch.reshape(shape[:4] + (self.pool_size, self.pool_size))
+        np.copyto(sink, self._windows(inputs))
+        return scratch
+
+    def _scatter(self, values: np.ndarray, input_shape: tuple) -> np.ndarray:
+        """Scatter-add per-window-element values back onto the input.
+
+        ``values`` has shape ``(N, C, out_h, out_w, pool, pool)`` (or is
+        broadcastable to it).  Non-overlapping windows (stride == pool,
+        the model-zoo default) reduce to one transpose-copy.  Same
+        reduction as :func:`~repro.nn.im2col.col2im_patches`, kept
+        separate because delegating would transpose the window-major
+        layout into strided per-offset reads.
+        """
+        batch, channels, height, width = input_shape
+        pool = self.pool_size
+        stride = self.stride
+        out_h = values.shape[2]
+        out_w = values.shape[3]
+
+        if stride == pool:
+            tiled = values.transpose(0, 1, 2, 4, 3, 5).reshape(
+                batch, channels, out_h * pool, out_w * pool
+            )
+            if (out_h * pool, out_w * pool) == (height, width):
+                return tiled
+            result = np.zeros(
+                (batch, channels, height, width), dtype=values.dtype
+            )
+            result[:, :, :out_h * pool, :out_w * pool] = tiled
+            return result
+
+        result = np.zeros(
+            (batch, channels, height, width), dtype=values.dtype
+        )
+        for row in range(pool):
+            row_end = row + stride * out_h
+            for col in range(pool):
+                col_end = col + stride * out_w
+                result[:, :, row:row_end:stride, col:col_end:stride] += (
+                    values[:, :, :, :, row, col]
+                )
+        return result
 
 
 class MaxPool2D(_Pool2D):
-    """Max pooling over square windows."""
+    """Max pooling over square windows.
+
+    The ubiquitous 2x2/stride-2 configuration runs a branch-free
+    tournament over four strided quadrant views — no patch copy, no
+    ``argmax`` kernel — producing the exact same outputs, tie-breaking
+    (first window element wins) and gradients as the generic path.
+    """
+
+    def _is_2x2(self) -> bool:
+        return self.pool_size == 2 and self.stride == 2
+
+    @staticmethod
+    def _quadrants(inputs: np.ndarray, out_h: int, out_w: int) -> tuple:
+        region = inputs[:, :, :2 * out_h, :2 * out_w]
+        return (
+            region[:, :, ::2, ::2], region[:, :, ::2, 1::2],
+            region[:, :, 1::2, ::2], region[:, :, 1::2, 1::2],
+        )
+
+    @staticmethod
+    def _tournament_argmax(a, b, c, d, top, bottom) -> np.ndarray:
+        """Index (0-3, row-major window order) of the first maximum.
+
+        The single definition of the tie-break convention (earlier
+        window element wins, matching ``argmax``), shared by the
+        training forward and the lazy inference-backward recompute.
+        """
+        first = (b > a).view(np.uint8)
+        second = (d > c).view(np.uint8) + 2
+        return np.where(bottom > top, second, first)
+
+    def _argmax_2x2(self, inputs: np.ndarray, dims: tuple) -> np.ndarray:
+        a, b, c, d = self._quadrants(inputs, dims[2], dims[3])
+        top = np.maximum(a, b)
+        bottom = np.maximum(c, d)
+        return self._tournament_argmax(a, b, c, d, top, bottom)
 
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
-        inputs, columns, (batch, channels, out_h, out_w) = self._columns(inputs)
-        argmax = columns.argmax(axis=1)
-        outputs = columns[np.arange(columns.shape[0]), argmax]
-        self._cache = (inputs.shape, argmax, (batch, channels, out_h, out_w))
-        return _rows_to_nchw(outputs, batch, channels, out_h, out_w)
+        inputs = as_float(inputs)
+        dims = self._output_dims(inputs)
+        if self._is_2x2():
+            a, b, c, d = self._quadrants(inputs, dims[2], dims[3])
+            top = np.maximum(a, b)
+            bottom = np.maximum(c, d)
+            outputs = np.maximum(top, bottom)
+            if training:
+                argmax = self._tournament_argmax(a, b, c, d, top, bottom)
+                self._cache = (inputs.shape, argmax, dims, None)
+            else:
+                self._cache = (inputs.shape, None, dims, inputs)
+            return outputs
+        patches = self._patches(inputs, dims)
+        if training:
+            argmax = patches.argmax(axis=4)
+            outputs = np.take_along_axis(
+                patches, argmax[..., None], axis=4
+            )[..., 0]
+            self._cache = (inputs.shape, argmax, dims, None)
+            return outputs
+        self._cache = (inputs.shape, None, dims, inputs)
+        return patches.max(axis=4)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before forward")
-        input_shape, argmax, (batch, channels, out_h, out_w) = self._cache
-        grad_rows = _nchw_to_rows(np.asarray(grad_output, dtype=np.float64))
-        grad_columns = np.zeros(
-            (grad_rows.shape[0], self.pool_size * self.pool_size), dtype=np.float64
+        input_shape, argmax, dims, inputs = self._cache
+        grad_output = as_float(grad_output)
+        batch, channels, out_h, out_w = dims
+        if self._is_2x2():
+            if argmax is None:
+                argmax = self._argmax_2x2(inputs, dims)
+            grad_input = np.zeros(input_shape, dtype=grad_output.dtype)
+            region = grad_input[:, :, :2 * out_h, :2 * out_w]
+            region[:, :, ::2, ::2] = grad_output * (argmax == 0)
+            region[:, :, ::2, 1::2] = grad_output * (argmax == 1)
+            region[:, :, 1::2, ::2] = grad_output * (argmax == 2)
+            region[:, :, 1::2, 1::2] = grad_output * (argmax == 3)
+            return grad_input
+        if argmax is None:
+            argmax = self._patches(inputs, dims).argmax(axis=4)
+        window = self.pool_size * self.pool_size
+        grad_windows = np.zeros(
+            (batch, channels, out_h, out_w, window), dtype=grad_output.dtype
         )
-        grad_columns[np.arange(grad_rows.shape[0]), argmax] = grad_rows
-        return _columns_to_input(
-            grad_columns, input_shape, batch, channels, out_h, out_w,
-            self.pool_size, self.stride,
+        np.put_along_axis(
+            grad_windows, argmax[..., None], grad_output[..., None], axis=4
+        )
+        return self._scatter(
+            grad_windows.reshape(
+                batch, channels, out_h, out_w, self.pool_size, self.pool_size
+            ),
+            input_shape,
         )
 
 
@@ -63,22 +203,22 @@ class AvgPool2D(_Pool2D):
     """Average pooling over square windows."""
 
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
-        inputs, columns, (batch, channels, out_h, out_w) = self._columns(inputs)
-        outputs = columns.mean(axis=1)
-        self._cache = (inputs.shape, (batch, channels, out_h, out_w))
-        return _rows_to_nchw(outputs, batch, channels, out_h, out_w)
+        inputs = as_float(inputs)
+        dims = self._output_dims(inputs)
+        self._cache = (inputs.shape, dims)
+        return self._patches(inputs, dims).mean(axis=4)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before forward")
-        input_shape, (batch, channels, out_h, out_w) = self._cache
-        grad_rows = _nchw_to_rows(np.asarray(grad_output, dtype=np.float64))
+        input_shape, dims = self._cache
+        grad_output = as_float(grad_output)
         window = self.pool_size * self.pool_size
-        grad_columns = np.repeat(grad_rows[:, None] / window, window, axis=1)
-        return _columns_to_input(
-            grad_columns, input_shape, batch, channels, out_h, out_w,
-            self.pool_size, self.stride,
+        spread = np.broadcast_to(
+            (grad_output / window)[..., None, None],
+            dims + (self.pool_size, self.pool_size),
         )
+        return self._scatter(spread, input_shape)
 
 
 class GlobalAvgPool2D(Layer):
@@ -88,7 +228,7 @@ class GlobalAvgPool2D(Layer):
         self._input_shape = None
 
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
-        inputs = np.asarray(inputs, dtype=np.float64)
+        inputs = as_float(inputs)
         if inputs.ndim != 4:
             raise ValueError(f"expected NCHW input, got shape {inputs.shape}")
         self._input_shape = inputs.shape
@@ -98,38 +238,6 @@ class GlobalAvgPool2D(Layer):
         if self._input_shape is None:
             raise RuntimeError("backward called before forward")
         batch, channels, height, width = self._input_shape
-        grad_output = np.asarray(grad_output, dtype=np.float64)
+        grad_output = as_float(grad_output)
         grad = grad_output[:, :, None, None] / float(height * width)
         return np.broadcast_to(grad, self._input_shape).copy()
-
-
-def _rows_to_nchw(
-    rows: np.ndarray, batch: int, channels: int, out_h: int, out_w: int
-) -> np.ndarray:
-    """Rows ordered (sample, pixel, channel) -> NCHW tensor."""
-    return rows.reshape(batch, out_h, out_w, channels).transpose(0, 3, 1, 2)
-
-
-def _nchw_to_rows(tensor: np.ndarray) -> np.ndarray:
-    """NCHW tensor -> rows ordered (sample, pixel, channel)."""
-    return tensor.transpose(0, 2, 3, 1).reshape(-1)
-
-
-def _columns_to_input(
-    grad_columns: np.ndarray,
-    input_shape: tuple,
-    batch: int,
-    channels: int,
-    out_h: int,
-    out_w: int,
-    pool_size: int,
-    stride: int,
-) -> np.ndarray:
-    """Scatter per-window gradients back to the input tensor."""
-    window = pool_size * pool_size
-    # Restore the im2col row layout (N*out_h*out_w, C*pool*pool); the rows are
-    # already channel-major, so a plain reshape suffices.
-    grad_columns = grad_columns.reshape(
-        batch * out_h * out_w, channels * window
-    )
-    return col2im(grad_columns, input_shape, pool_size, pool_size, stride, 0)

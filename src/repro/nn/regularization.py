@@ -5,6 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.nn.base import Layer
+from repro.nn.dtype import as_float
 
 
 class Dropout(Layer):
@@ -20,16 +21,20 @@ class Dropout(Layer):
         self._mask = None
 
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
-        inputs = np.asarray(inputs, dtype=np.float64)
+        inputs = as_float(inputs)
         if not training or self.rate == 0.0:
             self._mask = None
             return inputs
         keep = 1.0 - self.rate
-        self._mask = (self._rng.random(inputs.shape) < keep) / keep
+        # The mask is drawn in float64 (same random stream in every
+        # compute dtype) and cast to the activation dtype so the product
+        # does not promote float32 activations.
+        mask = (self._rng.random(inputs.shape) < keep) / keep
+        self._mask = mask.astype(inputs.dtype, copy=False)
         return inputs * self._mask
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
-        grad_output = np.asarray(grad_output, dtype=np.float64)
+        grad_output = as_float(grad_output)
         if self._mask is None:
             return grad_output
         return grad_output * self._mask

@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.nn.base import Sequential
+from repro.nn.dtype import resolve_dtype
 from repro.nn.losses import SoftmaxCrossEntropy
 from repro.nn.optim import SGD, Optimizer
 
@@ -48,6 +49,11 @@ class Trainer:
         Mini-batch size.
     seed:
         Seed for the shuffling generator, for reproducible runs.
+    dtype:
+        Compute dtype the datasets are cast to before every epoch.
+        ``None`` (the default) follows the model's parameter dtype, so a
+        float32 model trains entirely in float32 without per-layer
+        casting; pass ``"float64"`` to force the reference mode.
     """
 
     def __init__(
@@ -57,6 +63,7 @@ class Trainer:
         loss: SoftmaxCrossEntropy = None,
         batch_size: int = 32,
         seed: int = 0,
+        dtype=None,
     ) -> None:
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
@@ -66,6 +73,9 @@ class Trainer:
         )
         self.loss = loss if loss is not None else SoftmaxCrossEntropy()
         self.batch_size = int(batch_size)
+        self.dtype = (
+            resolve_dtype(dtype) if dtype is not None else model.dtype
+        )
         self._rng = np.random.default_rng(seed)
 
     def fit(
@@ -83,7 +93,7 @@ class Trainer:
         accuracy is recorded after every epoch (used by the Fig. 2(b)
         accuracy-versus-epoch experiment).
         """
-        images, labels = _check_dataset(images, labels)
+        images, labels = _check_dataset(images, labels, self.dtype)
         history = TrainingHistory()
         for epoch in range(epochs):
             order = self._rng.permutation(images.shape[0])
@@ -97,7 +107,9 @@ class Trainer:
                 loss_value = self.loss.forward(logits, batch_labels)
                 parameters = self.model.parameters()
                 self.optimizer.zero_grad(parameters)
-                self.model.backward(self.loss.backward())
+                self.model.backward(
+                    self.loss.backward(), need_input_grad=False
+                )
                 self.optimizer.step(parameters)
                 epoch_loss += loss_value * batch_labels.shape[0]
                 correct += int(
@@ -122,7 +134,7 @@ class Trainer:
 
     def evaluate(self, images: np.ndarray, labels: np.ndarray) -> float:
         """Top-1 accuracy of the model on ``(images, labels)``."""
-        images, labels = _check_dataset(images, labels)
+        images, labels = _check_dataset(images, labels, self.dtype)
         predictions = self.model.predict(images, batch_size=self.batch_size)
         return float((predictions == labels).mean())
 
@@ -141,8 +153,10 @@ def top_k_accuracy(
     return float(hits.mean())
 
 
-def _check_dataset(images: np.ndarray, labels: np.ndarray) -> tuple:
-    images = np.asarray(images, dtype=np.float64)
+def _check_dataset(
+    images: np.ndarray, labels: np.ndarray, dtype=np.float64
+) -> tuple:
+    images = np.asarray(images, dtype=dtype)
     labels = np.asarray(labels, dtype=np.intp)
     if images.ndim != 4:
         raise ValueError(f"expected NCHW images, got shape {images.shape}")

@@ -155,6 +155,57 @@ class TestGrayscaleBatch:
             codec.compress_batch(random_image)
 
 
+class TestColorBatch:
+    def _images(self, rng, count=4, height=24, width=24):
+        return np.clip(
+            rng.normal(128, 50, (count, height, width, 3)), 0, 255
+        )
+
+    @pytest.mark.parametrize("subsample", [True, False])
+    def test_batch_matches_per_image_compress(self, rng, subsample):
+        codec = ColorJpegCodec(
+            QuantizationTable.standard_luminance(50),
+            QuantizationTable.standard_chrominance(50),
+            subsample_chroma=subsample,
+        )
+        images = self._images(rng)
+        batch = codec.compress_batch(images)
+        assert len(batch) == images.shape[0]
+        for index, result in enumerate(batch):
+            single = codec.compress(images[index])
+            assert result.payload_bytes == single.payload_bytes
+            assert result.header_bytes == single.header_bytes
+            np.testing.assert_array_equal(
+                result.reconstructed, single.reconstructed
+            )
+
+    def test_batch_with_odd_dimensions(self, rng):
+        codec = ColorJpegCodec(QuantizationTable.standard_luminance(60))
+        images = self._images(rng, count=3, height=19, width=27)
+        batch = codec.compress_batch(images)
+        for index, result in enumerate(batch):
+            single = codec.compress(images[index])
+            assert result.payload_bytes == single.payload_bytes
+            np.testing.assert_array_equal(
+                result.reconstructed, single.reconstructed
+            )
+
+    def test_batch_optimized_huffman_falls_back_per_image(self, rng):
+        codec = ColorJpegCodec(
+            QuantizationTable.standard_luminance(50), optimize_huffman=True
+        )
+        images = self._images(rng, count=2, height=16, width=16)
+        batch = codec.compress_batch(images)
+        for index, result in enumerate(batch):
+            single = codec.compress(images[index])
+            assert result.payload_bytes == single.payload_bytes
+
+    def test_batch_rejects_grayscale_stack(self, rng):
+        codec = ColorJpegCodec(QuantizationTable.standard_luminance(50))
+        with pytest.raises(ValueError):
+            codec.compress_batch(rng.normal(128, 30, (4, 16, 16)))
+
+
 class TestColorCodec:
     def test_roundtrip_shape(self, random_rgb_image):
         codec = ColorJpegCodec(

@@ -7,6 +7,8 @@ from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro.jpeg.color import (
+    batch_subsample_420,
+    batch_upsample_420,
     rgb_to_ycbcr,
     subsample_420,
     upsample_420,
@@ -92,3 +94,48 @@ class TestChromaSubsampling:
             subsample_420(np.zeros((2, 2, 3)))
         with pytest.raises(ValueError):
             upsample_420(np.zeros((2, 2, 3)), (4, 4))
+
+
+class TestBatchHelpers:
+    def test_rgb_to_ycbcr_broadcasts_over_stacks(self):
+        rng = np.random.default_rng(4)
+        images = rng.uniform(0, 255, (5, 8, 8, 3))
+        stacked = rgb_to_ycbcr(images)
+        for index in range(images.shape[0]):
+            np.testing.assert_array_equal(
+                stacked[index], rgb_to_ycbcr(images[index])
+            )
+
+    def test_ycbcr_to_rgb_broadcasts_over_stacks(self):
+        rng = np.random.default_rng(5)
+        images = rng.uniform(0, 255, (4, 6, 6, 3))
+        stacked = ycbcr_to_rgb(images)
+        for index in range(images.shape[0]):
+            np.testing.assert_array_equal(
+                stacked[index], ycbcr_to_rgb(images[index])
+            )
+
+    @pytest.mark.parametrize("shape", [(3, 8, 8), (2, 5, 7)])
+    def test_batch_subsample_matches_per_image(self, shape):
+        rng = np.random.default_rng(6)
+        channels = rng.uniform(0, 255, shape)
+        batch = batch_subsample_420(channels)
+        for index in range(shape[0]):
+            np.testing.assert_array_equal(
+                batch[index], subsample_420(channels[index])
+            )
+
+    def test_batch_upsample_matches_per_image(self):
+        rng = np.random.default_rng(7)
+        channels = rng.uniform(0, 255, (3, 4, 4))
+        batch = batch_upsample_420(channels, (7, 8))
+        for index in range(3):
+            np.testing.assert_array_equal(
+                batch[index], upsample_420(channels[index], (7, 8))
+            )
+
+    def test_batch_helpers_reject_2d_input(self):
+        with pytest.raises(ValueError):
+            batch_subsample_420(np.zeros((4, 4)))
+        with pytest.raises(ValueError):
+            batch_upsample_420(np.zeros((4, 4)), (8, 8))

@@ -3,7 +3,31 @@
 import numpy as np
 import pytest
 
-from repro.nn.im2col import col2im, conv_output_size, im2col
+from repro.nn.im2col import (
+    col2im,
+    col2im_patches,
+    col2im_scalar,
+    conv_output_size,
+    im2col,
+    im2col_patches,
+    im2col_scalar,
+)
+
+#: Geometries spanning the interesting cases: unit kernels, stride over
+#: kernel (gaps), stride under kernel (overlapping pooling windows),
+#: non-square spatial sizes, padding, and padded strided convolutions.
+GEOMETRIES = [
+    # (batch, channels, height, width, kernel_h, kernel_w, stride, pad)
+    (2, 3, 8, 8, 3, 3, 1, 1),
+    (1, 1, 5, 5, 3, 3, 1, 0),
+    (2, 2, 8, 8, 2, 2, 2, 0),
+    (1, 2, 9, 7, 3, 3, 2, 1),
+    (2, 1, 6, 6, 3, 3, 2, 0),    # overlapping pooling windows
+    (1, 3, 7, 7, 2, 2, 1, 0),    # maximally overlapping
+    (1, 1, 8, 8, 2, 2, 3, 0),    # stride > kernel leaves gaps
+    (2, 2, 4, 4, 1, 1, 1, 0),    # pointwise
+    (1, 1, 10, 6, 5, 3, 2, 2),   # rectangular kernel, pad 2
+]
 
 
 class TestConvOutputSize:
@@ -70,3 +94,97 @@ class TestCol2im:
         # The centre pixel is covered by all 9 patches, corners by 4.
         assert restored[0, 0, 1, 1] == pytest.approx(9.0)
         assert restored[0, 0, 0, 0] == pytest.approx(4.0)
+
+
+@pytest.mark.parametrize("geometry", GEOMETRIES)
+class TestFastPathParity:
+    """Fast paths against the scalar references, across geometries."""
+
+    def test_im2col_matches_scalar(self, geometry, rng):
+        batch, channels, height, width, kh, kw, stride, pad = geometry
+        images = rng.normal(size=(batch, channels, height, width))
+        np.testing.assert_array_equal(
+            im2col(images, kh, kw, stride, pad),
+            im2col_scalar(images, kh, kw, stride, pad),
+        )
+
+    def test_im2col_patches_matches_scalar(self, geometry, rng):
+        batch, channels, height, width, kh, kw, stride, pad = geometry
+        images = rng.normal(size=(batch, channels, height, width))
+        out_h = conv_output_size(height, kh, stride, pad)
+        out_w = conv_output_size(width, kw, stride, pad)
+        patches = im2col_patches(images, kh, kw, stride, pad)
+        assert patches.shape == (batch, channels * kh * kw, out_h * out_w)
+        # The patch tensor is the row layout with (pixel, feature) axes
+        # swapped per sample.
+        rows = im2col_scalar(images, kh, kw, stride, pad)
+        expected = rows.reshape(
+            batch, out_h * out_w, channels * kh * kw
+        ).transpose(0, 2, 1)
+        np.testing.assert_array_equal(patches, expected)
+
+    def test_col2im_matches_scalar(self, geometry, rng):
+        batch, channels, height, width, kh, kw, stride, pad = geometry
+        out_h = conv_output_size(height, kh, stride, pad)
+        out_w = conv_output_size(width, kw, stride, pad)
+        columns = rng.normal(
+            size=(batch * out_h * out_w, channels * kh * kw)
+        )
+        input_shape = (batch, channels, height, width)
+        np.testing.assert_array_equal(
+            col2im(columns, input_shape, kh, kw, stride, pad),
+            col2im_scalar(columns, input_shape, kh, kw, stride, pad),
+        )
+
+    def test_col2im_patches_matches_scalar(self, geometry, rng):
+        batch, channels, height, width, kh, kw, stride, pad = geometry
+        out_h = conv_output_size(height, kh, stride, pad)
+        out_w = conv_output_size(width, kw, stride, pad)
+        patches = rng.normal(
+            size=(batch, channels * kh * kw, out_h * out_w)
+        )
+        input_shape = (batch, channels, height, width)
+        rows = patches.transpose(0, 2, 1).reshape(
+            batch * out_h * out_w, channels * kh * kw
+        )
+        np.testing.assert_array_equal(
+            col2im_patches(patches, input_shape, kh, kw, stride, pad),
+            col2im_scalar(rows, input_shape, kh, kw, stride, pad),
+        )
+
+    def test_adjoint_property_fast(self, geometry, rng):
+        batch, channels, height, width, kh, kw, stride, pad = geometry
+        input_shape = (batch, channels, height, width)
+        images = rng.normal(size=input_shape)
+        columns = im2col(images, kh, kw, stride, pad)
+        cotangent = rng.normal(size=columns.shape)
+        lhs = np.sum(columns * cotangent)
+        rhs = np.sum(images * col2im(cotangent, input_shape, kh, kw, stride, pad))
+        assert lhs == pytest.approx(rhs)
+
+
+class TestDtypeAndScratch:
+    def test_im2col_preserves_float32(self, rng):
+        images = rng.normal(size=(2, 3, 8, 8)).astype(np.float32)
+        assert im2col(images, 3, 3, 1, 1).dtype == np.float32
+        assert im2col_patches(images, 3, 3, 1, 1).dtype == np.float32
+
+    def test_col2im_preserves_float32(self, rng):
+        columns = rng.normal(size=(2 * 16, 4)).astype(np.float32)
+        out = col2im(columns, (2, 1, 8, 8), 2, 2, 2, 0)
+        assert out.dtype == np.float32
+
+    def test_scratch_buffer_reused(self, rng):
+        images = rng.normal(size=(2, 3, 8, 8))
+        first = im2col_patches(images, 3, 3, 1, 1)
+        second = im2col_patches(images, 3, 3, 1, 1, out=first)
+        assert second is first
+
+    def test_mismatched_scratch_ignored(self, rng):
+        images = rng.normal(size=(2, 3, 8, 8))
+        wrong = np.empty((1, 1), dtype=np.float64)
+        result = im2col_patches(images, 3, 3, 1, 1, out=wrong)
+        assert result is not wrong
+        np.testing.assert_array_equal(
+            result, im2col_patches(images, 3, 3, 1, 1)
+        )
