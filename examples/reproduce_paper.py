@@ -8,9 +8,13 @@ and training length:
 * ``small`` — the default; the scale used for EXPERIMENTS.md.
 * ``full``  — largest datasets / longest training.
 
+``--workers N`` shards every experiment grid (and the dataset
+compression behind it) over N processes; ``--workers 0`` uses every
+CPU.  Results are identical for any worker count.
+
 Run with::
 
-    python examples/reproduce_paper.py --scale small
+    python examples/reproduce_paper.py --scale small --workers 4
 """
 
 from __future__ import annotations
@@ -57,8 +61,15 @@ def main() -> None:
         "--skip", nargs="*", default=[],
         help="figure ids to skip, e.g. --skip fig8",
     )
+    parser.add_argument(
+        "--workers", type=int, default=1,
+        help="processes per experiment sweep (1 = serial, 0 = all CPUs); "
+        "results are identical for any worker count",
+    )
     arguments = parser.parse_args()
-    config = SCALES[arguments.scale]()
+    config = SCALES[arguments.scale]().with_overrides(
+        workers=arguments.workers
+    )
     started = time.time()
 
     _banner("Fig. 2 — accuracy vs JPEG compression (CASE 1 / CASE 2)")

@@ -37,6 +37,7 @@ from repro.jpeg.quantization import (
     scale_table_for_quality,
 )
 from repro.jpeg.zigzag import ZIGZAG_ORDER
+from repro.runtime.executor import chunk_bounds, effective_workers, imap_tasks
 
 
 @dataclass(frozen=True)
@@ -106,11 +107,102 @@ def _batch_chunk_size(image_shape: tuple) -> int:
     return int(max(1, min(_BATCH_CHUNK, _BATCH_CHUNK_BYTES // per_image)))
 
 
+def _codec_for_stack(
+    images: np.ndarray,
+    luma_table: QuantizationTable,
+    chroma_table: QuantizationTable,
+    optimize_huffman: bool,
+):
+    """The shared codec implied by a stack's shape (validated)."""
+    if images.ndim == 4:
+        return ColorJpegCodec(
+            luma_table,
+            chroma_table if chroma_table is not None else luma_table,
+            optimize_huffman=optimize_huffman,
+        )
+    if images.ndim == 3:
+        if images.shape[-1] == 3:
+            raise ValueError(
+                f"ambiguous shape {images.shape}: could be one (H, W, 3) "
+                "RGB image or a stack of 3-pixel-wide grayscale images; "
+                "pass images[np.newaxis] for a single RGB image, or use "
+                "GrayscaleJpegCodec.compress_batch directly for 3-wide "
+                "grayscale stacks"
+            )
+        return GrayscaleJpegCodec(
+            luma_table, optimize_huffman=optimize_huffman
+        )
+    raise ValueError(
+        "expected an (N, H, W) or (N, H, W, 3) image stack, got "
+        f"shape {images.shape}"
+    )
+
+
+#: Current parallel compression job: ``(images, codec)``.  Set by the
+#: parent immediately before the worker pool forks (children inherit it
+#: copy-on-write, so image stacks are never pickled) and cleared when
+#: the shards are collected.
+_PARALLEL_JOB = None
+
+
+def _compress_chunk(bounds: tuple) -> "list[CompressionResult]":
+    """Worker task: compress one ``[start, stop)`` shard of the job."""
+    start, stop = bounds
+    images, codec = _PARALLEL_JOB
+    return codec.compress_batch(images[start:stop])
+
+
+def _parallel_chunk_size(count: int, workers: int, image_shape: tuple) -> int:
+    """Images per parallel shard: ~2 shards per worker, memory-capped.
+
+    Two shards per worker keeps the pool busy when shards finish
+    unevenly without multiplying per-shard result pickling; the
+    :func:`_batch_chunk_size` cap bounds each worker's peak float64
+    intermediates exactly like the serial path.
+    """
+    per_worker = max(1, -(-count // (workers * 2)))
+    return min(per_worker, _batch_chunk_size(image_shape))
+
+
+def _iter_compressed(images: np.ndarray, codec, workers: int):
+    """Yield per-image results for a stack, optionally sharded over a pool.
+
+    The shared-table batch path makes per-image byte streams independent
+    of their neighbours (the DC predictor resets at image boundaries),
+    so compressing ``[start, stop)`` shards in worker processes and
+    reassembling the results in order is byte-identical to one serial
+    ``compress_batch`` over the whole stack — which is exactly what
+    ``workers=1`` runs.  Shard results stream through a bounded window
+    (:func:`~repro.runtime.executor.imap_tasks`), so a consumer that
+    aggregates incrementally never holds more than a few shards' worth
+    of reconstructions at once.
+    """
+    global _PARALLEL_JOB
+    count = int(images.shape[0])
+    if count == 0:
+        # Explicit empty contract: no images, no results, no pool.
+        return
+    workers = effective_workers(workers, task_count=count)
+    shards = chunk_bounds(
+        count, _parallel_chunk_size(count, workers, images.shape[1:])
+    )
+    if workers <= 1 or count <= 1 or len(shards) <= 1:
+        yield from codec.compress_batch(images)
+        return
+    _PARALLEL_JOB = (images, codec)
+    try:
+        for chunk in imap_tasks(_compress_chunk, shards, workers=workers):
+            yield from chunk
+    finally:
+        _PARALLEL_JOB = None
+
+
 def compress_batch(
     images: np.ndarray,
     luma_table: QuantizationTable,
     chroma_table: QuantizationTable = None,
     optimize_huffman: bool = False,
+    workers: int = 1,
 ) -> "list[CompressionResult]":
     """Compress a stack of same-shaped images with one shared codec.
 
@@ -124,32 +216,17 @@ def compress_batch(
     (colour conversion and chroma resampling are also whole-batch
     passes).  Per-image results are byte-identical to compressing each
     image individually.
+
+    ``workers > 1`` shards the stack into contiguous image chunks
+    compressed by a process pool (one shard at a time per worker, the
+    same shared tables in every worker) and reassembles the per-image
+    results in order; the output is identical to ``workers=1``.
     """
     images = np.asarray(images, dtype=np.float64)
-    if images.ndim == 4:
-        codec = ColorJpegCodec(
-            luma_table,
-            chroma_table if chroma_table is not None else luma_table,
-            optimize_huffman=optimize_huffman,
-        )
-    elif images.ndim == 3:
-        if images.shape[-1] == 3:
-            raise ValueError(
-                f"ambiguous shape {images.shape}: could be one (H, W, 3) "
-                "RGB image or a stack of 3-pixel-wide grayscale images; "
-                "pass images[np.newaxis] for a single RGB image, or use "
-                "GrayscaleJpegCodec.compress_batch directly for 3-wide "
-                "grayscale stacks"
-            )
-        codec = GrayscaleJpegCodec(
-            luma_table, optimize_huffman=optimize_huffman
-        )
-    else:
-        raise ValueError(
-            "expected an (N, H, W) or (N, H, W, 3) image stack, got "
-            f"shape {images.shape}"
-        )
-    return codec.compress_batch(images)
+    codec = _codec_for_stack(
+        images, luma_table, chroma_table, optimize_huffman
+    )
+    return list(_iter_compressed(images, codec, workers))
 
 
 def compress_dataset_with_table(
@@ -158,6 +235,7 @@ def compress_dataset_with_table(
     chroma_table: QuantizationTable = None,
     method: str = "custom",
     optimize_huffman: bool = False,
+    workers: int = 1,
 ) -> CompressedDataset:
     """Compress every image of ``dataset`` with the given table(s).
 
@@ -167,17 +245,17 @@ def compress_dataset_with_table(
     shared across the dataset.  The dataset's dimensionality decides the
     modality here (``ndim == 4`` is colour), so even pathological shapes
     like 3-pixel-wide grayscale images dispatch correctly.
+
+    ``workers > 1`` shards the dataset into contiguous image chunks
+    over a process pool (see :func:`compress_batch`); per-image results
+    — and therefore every aggregate below — are identical to the serial
+    run.
     """
     images = dataset.images
     reconstructed = np.empty_like(images)
     payload = 0
     header = 0
     psnr_values = []
-    # Chunking bounds peak memory (the batch pipeline holds several
-    # chunk-sized float64 intermediates at once) while keeping the
-    # vectorization win; the chunk shrinks for large images so peak
-    # memory is bounded in bytes, not image count.
-    chunk = _batch_chunk_size(images.shape[1:])
     if images.ndim == 4:
         # Colour batches share the vectorized per-plane entropy path.
         codec = ColorJpegCodec(
@@ -189,11 +267,22 @@ def compress_dataset_with_table(
         codec = GrayscaleJpegCodec(
             luma_table, optimize_huffman=optimize_huffman
         )
-    results = (
-        result
-        for start in range(0, images.shape[0], chunk)
-        for result in codec.compress_batch(images[start:start + chunk])
-    )
+    if effective_workers(workers, task_count=images.shape[0]) > 1:
+        # Streams shard results through a bounded window, so the
+        # parallel path keeps the same peak-memory character as the
+        # serial chunked loop below (plus the reassembled output array).
+        results = _iter_compressed(images, codec, workers)
+    else:
+        # Chunking bounds peak memory (the batch pipeline holds several
+        # chunk-sized float64 intermediates at once) while keeping the
+        # vectorization win; the chunk shrinks for large images so peak
+        # memory is bounded in bytes, not image count.
+        chunk = _batch_chunk_size(images.shape[1:])
+        results = (
+            result
+            for start in range(0, images.shape[0], chunk)
+            for result in codec.compress_batch(images[start:start + chunk])
+        )
     for index, result in enumerate(results):
         reconstructed[index] = result.reconstructed
         payload += result.payload_bytes
@@ -226,15 +315,21 @@ class DatasetCompressor:
         return self.luma_table()
 
     def compress_dataset(
-        self, dataset: Dataset, optimize_huffman: bool = False
+        self, dataset: Dataset, optimize_huffman: bool = False,
+        workers: int = 1,
     ) -> CompressedDataset:
-        """Compress every image of ``dataset`` and collect statistics."""
+        """Compress every image of ``dataset`` and collect statistics.
+
+        ``workers > 1`` shards the dataset over a process pool with the
+        same results (see :func:`compress_dataset_with_table`).
+        """
         return compress_dataset_with_table(
             dataset,
             self.luma_table(),
             self.chroma_table(),
             method=self.name,
             optimize_huffman=optimize_huffman,
+            workers=workers,
         )
 
 

@@ -94,8 +94,15 @@ class DeepNJpeg:
             )
         return codec.compress(image)
 
-    def compress_dataset(self, dataset: Dataset) -> CompressedDataset:
-        """Compress every image of ``dataset`` with the designed table."""
+    def compress_dataset(
+        self, dataset: Dataset, workers: int = 1
+    ) -> CompressedDataset:
+        """Compress every image of ``dataset`` with the designed table.
+
+        ``workers > 1`` shards the dataset over a process pool with
+        identical results (see
+        :func:`repro.core.baselines.compress_dataset_with_table`).
+        """
         self._require_fitted()
         return compress_dataset_with_table(
             dataset,
@@ -103,6 +110,7 @@ class DeepNJpeg:
             self._design.chroma_table,
             method="DeepN-JPEG",
             optimize_huffman=self.config.optimize_huffman,
+            workers=workers,
         )
 
     def _require_fitted(self) -> None:

@@ -39,6 +39,12 @@ class ExperimentConfig:
     sampling_interval:
         Algorithm-1 interval used when fitting DeepN-JPEG inside an
         experiment.
+    workers:
+        Process count for the experiment sweeps (and the dataset
+        compression they trigger): ``1`` runs everything serially in
+        this process (bit-identical to the historical behaviour), ``N``
+        shards the sweep grid over ``N`` processes, ``0`` uses every
+        available CPU.  Results are identical for any worker count.
     """
 
     images_per_class: int = 30
@@ -54,6 +60,7 @@ class ExperimentConfig:
     split_seed: int = 0
     model_seed: int = 0
     sampling_interval: int = 2
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.images_per_class < 4:
@@ -67,6 +74,8 @@ class ExperimentConfig:
                 f"compute_dtype must be 'float32' or 'float64', "
                 f"got {self.compute_dtype!r}"
             )
+        if self.workers < 0:
+            raise ValueError("workers must be non-negative")
 
     @classmethod
     def tiny(cls) -> "ExperimentConfig":
@@ -86,6 +95,16 @@ class ExperimentConfig:
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
         """A copy of this configuration with selected fields replaced."""
         return replace(self, **kwargs)
+
+    def task_key(self) -> "ExperimentConfig":
+        """The worker-state key this configuration implies.
+
+        Identical to the config except that ``workers`` is normalised to
+        1: the parallel runtime must never influence the data, model or
+        seeds a worker reconstructs, and a worker never re-parallelises
+        its own task.
+        """
+        return replace(self, workers=1)
 
     def freqnet_config(self) -> FreqNetConfig:
         """The FreqNet generator configuration implied by this experiment."""

@@ -42,7 +42,10 @@ def derive_design_config(
     Parameters
     ----------
     config:
-        Experiment scale (dataset size, epochs, seeds).
+        Experiment scale (dataset size, epochs, seeds).  Its ``workers``
+        knob also parallelises the embedded Fig. 5 sweeps: when anchors
+        are not supplied, every (method, group, step) measurement behind
+        the derived design runs as an independent pool task.
     anchors:
         Optional pre-computed ``{"q1", "q2", "q_min"}`` dictionary (e.g.
         from a previous :func:`repro.experiments.fig5_band_sensitivity.run`);

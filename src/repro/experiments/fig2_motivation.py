@@ -19,6 +19,7 @@ from repro.experiments.common import (
     relative_compression_rate,
     train_classifier,
 )
+from repro.runtime.executor import TaskState, map_tasks
 
 #: Quality factors evaluated in the figure.
 FIG2_QUALITY_FACTORS = (100, 50, 20)
@@ -74,14 +75,15 @@ class Fig2Result:
         }
 
 
-def run(
-    config: ExperimentConfig = None,
-    quality_factors: "tuple[int, ...]" = FIG2_QUALITY_FACTORS,
-) -> Fig2Result:
-    """Reproduce Fig. 2 at the given experiment scale."""
-    config = config if config is not None else ExperimentConfig.small()
-    train_dataset, test_dataset = make_splits(config)
+def _build_state(key: tuple) -> dict:
+    """Shared state of the QF sweep, keyed by (config, quality factors).
 
+    The per-quality compressions and the CASE-1 model are reconstructed
+    from the key alone, so a cold worker reproduces the parent's state
+    bit for bit.
+    """
+    config, quality_factors = key
+    train_dataset, test_dataset = make_splits(config)
     compressed_train = {
         quality: JpegCompressor(quality).compress_dataset(train_dataset)
         for quality in quality_factors
@@ -90,36 +92,67 @@ def run(
         quality: JpegCompressor(quality).compress_dataset(test_dataset)
         for quality in quality_factors
     }
-    reference = compressed_test[max(quality_factors)]
-
-    # CASE 1: one model trained on high-quality images, tested at every QF.
     case1_model = train_classifier(
         compressed_train[max(quality_factors)], config
     )
+    return {
+        "compressed_train": compressed_train,
+        "compressed_test": compressed_test,
+        "case1_model": case1_model,
+    }
 
+
+_STATE = TaskState(_build_state)
+
+
+def _quality_cell(task: tuple) -> Fig2Entry:
+    """One quality factor: CASE-1 evaluation plus a CASE-2 training run."""
+    key, quality = task
+    config, quality_factors = key
+    state = _STATE.get(key)
+    best = max(quality_factors)
+    compressed_test = state["compressed_test"]
+    case1_accuracy = state["case1_model"].accuracy_on(compressed_test[quality])
+    # CASE 2: train on images compressed at this QF, test on high quality.
+    case2_model = train_classifier(
+        state["compressed_train"][quality],
+        config,
+        validation_dataset=compressed_test[best],
+    )
+    case2_accuracy = case2_model.accuracy_on(compressed_test[best])
+    return Fig2Entry(
+        quality=quality,
+        compression_ratio=relative_compression_rate(
+            compressed_test[quality], compressed_test[best]
+        ),
+        case1_accuracy=case1_accuracy,
+        case2_accuracy=case2_accuracy,
+        case2_accuracy_per_epoch=tuple(
+            case2_model.history.validation_accuracy
+        ),
+    )
+
+
+def run(
+    config: ExperimentConfig = None,
+    quality_factors: "tuple[int, ...]" = FIG2_QUALITY_FACTORS,
+) -> Fig2Result:
+    """Reproduce Fig. 2 at the given experiment scale.
+
+    With ``config.workers > 1`` each quality factor (one CASE-1
+    evaluation plus one CASE-2 training run) is an independent pool
+    task; results are identical to the serial run.
+    """
+    config = config if config is not None else ExperimentConfig.small()
+    key = (config.task_key(), tuple(quality_factors))
+    _STATE.get(key)
+    tasks = [(key, quality) for quality in quality_factors]
     result = Fig2Result()
-    for quality in quality_factors:
-        case1_accuracy = case1_model.accuracy_on(compressed_test[quality])
-        # CASE 2: train on images compressed at this QF, test on high quality.
-        case2_model = train_classifier(
-            compressed_train[quality],
-            config,
-            validation_dataset=compressed_test[max(quality_factors)],
+    try:
+        result.entries.extend(
+            map_tasks(_quality_cell, tasks, workers=config.workers)
         )
-        case2_accuracy = case2_model.accuracy_on(
-            compressed_test[max(quality_factors)]
-        )
-        result.entries.append(
-            Fig2Entry(
-                quality=quality,
-                compression_ratio=relative_compression_rate(
-                    compressed_test[quality], reference
-                ),
-                case1_accuracy=case1_accuracy,
-                case2_accuracy=case2_accuracy,
-                case2_accuracy_per_epoch=tuple(
-                    case2_model.history.validation_accuracy
-                ),
-            )
-        )
+    finally:
+        # Release the per-QF compressed datasets and the CASE-1 model.
+        _STATE.clear()
     return result

@@ -30,6 +30,7 @@ from repro.jpeg.blocks import (
 from repro.jpeg.dct import block_dct2d, block_idct2d
 from repro.jpeg.metrics import psnr
 from repro.jpeg.zigzag import inverse_zigzag, zigzag
+from repro.runtime.executor import TaskState, map_tasks
 
 #: Numbers of removed components evaluated (the paper's example removes 6).
 FIG3_REMOVED_COMPONENTS = (0, 3, 6, 9, 12)
@@ -117,54 +118,85 @@ class Fig3Result:
         )
 
 
-def run(
-    config: ExperimentConfig = None,
-    removed_components: "tuple[int, ...]" = FIG3_REMOVED_COMPONENTS,
-    high_frequency_classes: "tuple[str, ...]" = ("textured_blob",),
-) -> Fig3Result:
-    """Reproduce the Fig. 3 feature-degradation demonstration."""
-    config = config if config is not None else ExperimentConfig.small()
+def _build_state(key: tuple) -> dict:
+    """Shared state keyed by (config, high-frequency class names)."""
+    config, high_frequency_classes = key
     train_dataset, test_dataset = make_splits(config)
     classifier = train_classifier(train_dataset, config)
-    baseline_predictions = classifier.predictions_on(test_dataset)
-
     high_frequency_labels = [
         test_dataset.class_names.index(name)
         for name in high_frequency_classes
         if name in test_dataset.class_names
     ]
-    high_frequency_mask = np.isin(test_dataset.labels, high_frequency_labels)
+    return {
+        "test_dataset": test_dataset,
+        "classifier": classifier,
+        "baseline_predictions": classifier.predictions_on(test_dataset),
+        "high_frequency_mask": np.isin(
+            test_dataset.labels, high_frequency_labels
+        ),
+    }
 
-    result = Fig3Result(high_frequency_classes=list(high_frequency_classes))
-    for count in removed_components:
-        degraded = remove_high_frequency_dataset(test_dataset, count)
-        predictions = classifier.predictions_on(degraded)
-        accuracy = float((predictions == test_dataset.labels).mean())
-        if high_frequency_mask.any():
-            hf_accuracy = float(
-                (
-                    predictions[high_frequency_mask]
-                    == test_dataset.labels[high_frequency_mask]
-                ).mean()
-            )
-        else:
-            hf_accuracy = float("nan")
-        psnr_values = [
-            psnr(original, degraded_image)
-            for original, degraded_image in zip(
-                test_dataset.images, degraded.images
-            )
-        ]
-        finite = [value for value in psnr_values if np.isfinite(value)]
-        result.entries.append(
-            Fig3Entry(
-                removed_components=count,
-                accuracy=accuracy,
-                high_frequency_class_accuracy=hf_accuracy,
-                mean_psnr=float(np.mean(finite)) if finite else float("inf"),
-                flipped_fraction=float(
-                    (predictions != baseline_predictions).mean()
-                ),
-            )
+
+_STATE = TaskState(_build_state)
+
+
+def _removal_cell(task: tuple) -> Fig3Entry:
+    """One removed-component count: degrade, predict, measure."""
+    key, count = task
+    state = _STATE.get(key)
+    test_dataset = state["test_dataset"]
+    high_frequency_mask = state["high_frequency_mask"]
+    degraded = remove_high_frequency_dataset(test_dataset, count)
+    predictions = state["classifier"].predictions_on(degraded)
+    accuracy = float((predictions == test_dataset.labels).mean())
+    if high_frequency_mask.any():
+        hf_accuracy = float(
+            (
+                predictions[high_frequency_mask]
+                == test_dataset.labels[high_frequency_mask]
+            ).mean()
         )
+    else:
+        hf_accuracy = float("nan")
+    psnr_values = [
+        psnr(original, degraded_image)
+        for original, degraded_image in zip(
+            test_dataset.images, degraded.images
+        )
+    ]
+    finite = [value for value in psnr_values if np.isfinite(value)]
+    return Fig3Entry(
+        removed_components=count,
+        accuracy=accuracy,
+        high_frequency_class_accuracy=hf_accuracy,
+        mean_psnr=float(np.mean(finite)) if finite else float("inf"),
+        flipped_fraction=float(
+            (predictions != state["baseline_predictions"]).mean()
+        ),
+    )
+
+
+def run(
+    config: ExperimentConfig = None,
+    removed_components: "tuple[int, ...]" = FIG3_REMOVED_COMPONENTS,
+    high_frequency_classes: "tuple[str, ...]" = ("textured_blob",),
+) -> Fig3Result:
+    """Reproduce the Fig. 3 feature-degradation demonstration.
+
+    With ``config.workers > 1`` each removed-component count is an
+    independent pool task; results are identical to the serial run.
+    """
+    config = config if config is not None else ExperimentConfig.small()
+    key = (config.task_key(), tuple(high_frequency_classes))
+    _STATE.get(key)
+    tasks = [(key, count) for count in removed_components]
+    result = Fig3Result(high_frequency_classes=list(high_frequency_classes))
+    try:
+        result.entries.extend(
+            map_tasks(_removal_cell, tasks, workers=config.workers)
+        )
+    finally:
+        # Release the datasets and classifier after the sweep.
+        _STATE.clear()
     return result

@@ -31,6 +31,7 @@ from repro.experiments.common import (
     train_classifier,
 )
 from repro.jpeg.quantization import QuantizationTable
+from repro.runtime.executor import TaskState, map_tasks
 
 #: Quantization steps swept per group (the paper sweeps to 40/60/80; the
 #: synthetic dataset tolerates larger steps, so the sweeps extend further to
@@ -129,17 +130,30 @@ class Fig5Result:
         return {"q1": float(q1), "q2": float(q2), "q_min": float(q_min)}
 
 
-def run(
-    config: ExperimentConfig = None,
-    step_sweeps: dict = None,
-    classifier: TrainedClassifier = None,
-) -> Fig5Result:
-    """Reproduce the Fig. 5 per-group sensitivity sweeps."""
-    config = config if config is not None else ExperimentConfig.small()
-    step_sweeps = step_sweeps if step_sweeps is not None else DEFAULT_STEP_SWEEPS
+def _build_state(key) -> dict:
+    """Reconstruct the sweep's shared state from the config alone.
+
+    Runs in the parent before the pool opens (fork workers then inherit
+    the result for free) and in any worker whose memo is cold.  The
+    classifier is retrained from the config seeds, so a cold rebuild is
+    bit-identical to the parent's copy.
+    """
+    if isinstance(key, tuple):
+        # Keys of externally supplied classifiers (seeded by run()) are
+        # not reconstructible from the config; they only ever resolve
+        # through a warm memo (the parent's, inherited over fork).
+        raise RuntimeError(
+            "Fig. 5 worker state for an externally supplied classifier "
+            "cannot be rebuilt from the config; this indicates a cold "
+            "worker on a non-fork platform"
+        )
+    config = key
     train_dataset, test_dataset = make_splits(config)
-    if classifier is None:
-        classifier = train_classifier(train_dataset, config)
+    classifier = train_classifier(train_dataset, config)
+    return _finish_state(config, train_dataset, test_dataset, classifier)
+
+
+def _finish_state(config, train_dataset, test_dataset, classifier) -> dict:
     statistics = analyze_dataset(
         train_dataset, interval=config.sampling_interval
     )
@@ -147,27 +161,82 @@ def run(
         "magnitude": magnitude_based_segmentation(statistics),
         "position": position_based_segmentation(),
     }
-    baseline_accuracy = classifier.accuracy_on(test_dataset)
-    result = Fig5Result(baseline_accuracy=baseline_accuracy)
-    for method, segmentation in segmentations.items():
-        for group, steps in step_sweeps.items():
-            for step in steps:
-                table = group_quantization_table(segmentation, group, step)
-                compressed = compress_dataset_with_table(
-                    test_dataset, table, method=table.name
-                )
-                accuracy = classifier.accuracy_on(compressed)
-                result.entries.append(
-                    Fig5Entry(
-                        method=method,
-                        group=group,
-                        step=float(step),
-                        accuracy=accuracy,
-                        normalized_accuracy=(
-                            accuracy / baseline_accuracy
-                            if baseline_accuracy > 0
-                            else 0.0
-                        ),
-                    )
-                )
+    return {
+        "test_dataset": test_dataset,
+        "classifier": classifier,
+        "segmentations": segmentations,
+        "baseline_accuracy": classifier.accuracy_on(test_dataset),
+    }
+
+
+_STATE = TaskState(_build_state)
+
+
+def _sweep_cell(task: tuple) -> Fig5Entry:
+    """One (segmentation method, group, step) grid point.
+
+    The task ships only the config key and the cell coordinates; the
+    heavy state (datasets, trained classifier, segmentations) comes from
+    the process-local :data:`_STATE` memo.
+    """
+    key, method, group, step = task
+    state = _STATE.get(key)
+    segmentation = state["segmentations"][method]
+    baseline_accuracy = state["baseline_accuracy"]
+    table = group_quantization_table(segmentation, group, step)
+    compressed = compress_dataset_with_table(
+        state["test_dataset"], table, method=table.name
+    )
+    accuracy = state["classifier"].accuracy_on(compressed)
+    return Fig5Entry(
+        method=method,
+        group=group,
+        step=float(step),
+        accuracy=accuracy,
+        normalized_accuracy=(
+            accuracy / baseline_accuracy if baseline_accuracy > 0 else 0.0
+        ),
+    )
+
+
+def run(
+    config: ExperimentConfig = None,
+    step_sweeps: dict = None,
+    classifier: TrainedClassifier = None,
+) -> Fig5Result:
+    """Reproduce the Fig. 5 per-group sensitivity sweeps.
+
+    With ``config.workers > 1`` the (method, group, step) grid is
+    sharded over a process pool; every grid point is an independent
+    task, so the entries are identical to the serial run in value and
+    order.
+    """
+    config = config if config is not None else ExperimentConfig.small()
+    step_sweeps = step_sweeps if step_sweeps is not None else DEFAULT_STEP_SWEEPS
+    if classifier is None:
+        key = config.task_key()
+        state = _STATE.get(key)
+    else:
+        # Reuse the caller's classifier: build the rest of the state
+        # around it and seed the memo (under a key distinct from the
+        # config-derived state) so forked workers inherit it.
+        key = (config.task_key(), id(classifier))
+        train_dataset, test_dataset = make_splits(config)
+        state = _finish_state(config, train_dataset, test_dataset, classifier)
+        _STATE.seed(key, state)
+    tasks = [
+        (key, method, group, step)
+        for method in state["segmentations"]
+        for group, steps in step_sweeps.items()
+        for step in steps
+    ]
+    result = Fig5Result(baseline_accuracy=state["baseline_accuracy"])
+    try:
+        result.entries.extend(
+            map_tasks(_sweep_cell, tasks, workers=config.workers)
+        )
+    finally:
+        # Release the sweep's datasets/classifier once the grid is done;
+        # the memo only needs to outlive the pool it was forked into.
+        _STATE.clear()
     return result

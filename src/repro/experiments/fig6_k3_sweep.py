@@ -22,6 +22,7 @@ from repro.experiments.common import (
     train_classifier,
 )
 from repro.experiments.design_flow import derive_design_config
+from repro.runtime.executor import TaskState, map_tasks
 
 #: The k3 values swept in the paper's Fig. 6.
 FIG6_K3_VALUES = (1.0, 2.0, 3.0, 4.0, 5.0)
@@ -68,47 +69,89 @@ class Fig6Result:
         return max(candidates, key=lambda entry: entry.compression_ratio).k3
 
 
+def _build_state(config: ExperimentConfig) -> dict:
+    """Shared state of the k3 sweep, reconstructible from the config.
+
+    The QF=100 reference compression of the test set lives here so a
+    worker can compute its cell's relative compression rate locally —
+    the same deterministic reference every other cell derives.
+    """
+    train_dataset, test_dataset = make_splits(config)
+    return {
+        "train_dataset": train_dataset,
+        "test_dataset": test_dataset,
+        "original_test": JpegCompressor(100).compress_dataset(test_dataset),
+    }
+
+
+_STATE = TaskState(_build_state)
+
+
+def _k3_cell(task: tuple) -> Fig6Entry:
+    """One k3 grid point: design, compress, train, evaluate.
+
+    The task ships the config key, the base design parameters and its
+    k3 value — no arrays; datasets are reconstructed (or fork-inherited)
+    through the :data:`_STATE` memo, and the classifier is trained in
+    the worker from the config seeds.
+    """
+    key, base_design, k3 = task
+    state = _STATE.get(key)
+    design_config = DeepNJpegConfig(
+        lf_band_count=base_design.lf_band_count,
+        mf_band_count=base_design.mf_band_count,
+        q_max_step=base_design.q_max_step,
+        q1=base_design.q1,
+        q2=base_design.q2,
+        q_min=base_design.q_min,
+        k3=float(k3),
+        lf_intercept=base_design.lf_intercept,
+        sampling_interval=base_design.sampling_interval,
+    )
+    deepn = DeepNJpeg(design_config).fit(state["train_dataset"])
+    compressed_train = deepn.compress_dataset(state["train_dataset"])
+    compressed_test = deepn.compress_dataset(state["test_dataset"])
+    classifier = train_classifier(compressed_train, key)
+    return Fig6Entry(
+        k3=float(k3),
+        compression_ratio=relative_compression_rate(
+            compressed_test, state["original_test"]
+        ),
+        accuracy=classifier.accuracy_on(compressed_test),
+        mean_quantization_step=deepn.table.mean_step(),
+    )
+
+
 def run(
     config: ExperimentConfig = None,
     k3_values: "tuple[float, ...]" = FIG6_K3_VALUES,
     anchors: dict = None,
 ) -> Fig6Result:
-    """Reproduce the Fig. 6 k3 sweep."""
+    """Reproduce the Fig. 6 k3 sweep.
+
+    With ``config.workers > 1`` each k3 value (table design, dataset
+    compression, classifier training, evaluation) is an independent
+    pool task; results are identical to the serial run.
+    """
     config = config if config is not None else ExperimentConfig.small()
-    train_dataset, test_dataset = make_splits(config)
+    key = config.task_key()
+    state = _STATE.get(key)
 
     # Baseline: classifier trained and tested on the QF=100 dataset.
-    original_train = JpegCompressor(100).compress_dataset(train_dataset)
-    original_test = JpegCompressor(100).compress_dataset(test_dataset)
+    original_train = JpegCompressor(100).compress_dataset(
+        state["train_dataset"]
+    )
     baseline = train_classifier(original_train, config)
-    baseline_accuracy = baseline.accuracy_on(original_test)
+    baseline_accuracy = baseline.accuracy_on(state["original_test"])
 
     base_design = derive_design_config(config, anchors=anchors)
+    tasks = [(key, base_design, float(k3)) for k3 in k3_values]
     result = Fig6Result(baseline_accuracy=baseline_accuracy)
-    for k3 in k3_values:
-        design_config = DeepNJpegConfig(
-            lf_band_count=base_design.lf_band_count,
-            mf_band_count=base_design.mf_band_count,
-            q_max_step=base_design.q_max_step,
-            q1=base_design.q1,
-            q2=base_design.q2,
-            q_min=base_design.q_min,
-            k3=float(k3),
-            lf_intercept=base_design.lf_intercept,
-            sampling_interval=base_design.sampling_interval,
+    try:
+        result.entries.extend(
+            map_tasks(_k3_cell, tasks, workers=config.workers)
         )
-        deepn = DeepNJpeg(design_config).fit(train_dataset)
-        compressed_train = deepn.compress_dataset(train_dataset)
-        compressed_test = deepn.compress_dataset(test_dataset)
-        classifier = train_classifier(compressed_train, config)
-        result.entries.append(
-            Fig6Entry(
-                k3=float(k3),
-                compression_ratio=relative_compression_rate(
-                    compressed_test, original_test
-                ),
-                accuracy=classifier.accuracy_on(compressed_test),
-                mean_quantization_step=deepn.table.mean_step(),
-            )
-        )
+    finally:
+        # Release the datasets and reference compression after the sweep.
+        _STATE.clear()
     return result

@@ -24,10 +24,10 @@ from repro.experiments.common import (
     ExperimentConfig,
     format_table,
     make_splits,
-    relative_compression_rate,
     train_classifier,
 )
 from repro.experiments.design_flow import derive_design_config
+from repro.runtime.executor import TaskState, map_tasks
 
 #: RM-HF and SAME-Q parameter sets evaluated in the paper's Fig. 7.
 FIG7_RMHF_COMPONENTS = (3, 6, 9)
@@ -102,6 +102,41 @@ def candidate_compressors(
     return compressors
 
 
+def _build_state(config: ExperimentConfig) -> dict:
+    """Datasets of the comparison, reconstructible from the config."""
+    train_dataset, test_dataset = make_splits(config)
+    return {"train_dataset": train_dataset, "test_dataset": test_dataset}
+
+
+_STATE = TaskState(_build_state)
+
+
+def _candidate_cell(task: tuple) -> tuple:
+    """One candidate: compress train/test, train, evaluate.
+
+    Ships the config key plus the (small) compressor object — a fitted
+    DeepN-JPEG pipeline pickles to a few KB of table state, never image
+    arrays.  Returns the entry fields plus the candidate's absolute
+    compressed size; the caller derives the relative compression rate
+    against the first candidate once all sizes are in.
+    """
+    key, compressor = task
+    state = _STATE.get(key)
+    compressed_train = compressor.compress_dataset(state["train_dataset"])
+    compressed_test = compressor.compress_dataset(state["test_dataset"])
+    classifier = train_classifier(compressed_train, key)
+    method_name = (
+        "Original" if compressor.name == "JPEG (QF=100)" else compressor.name
+    )
+    return (
+        method_name,
+        compressed_test.total_bytes,
+        classifier.accuracy_on(compressed_test),
+        compressed_test.bytes_per_image,
+        compressed_test.mean_psnr,
+    )
+
+
 def run(
     config: ExperimentConfig = None,
     deepn_config=None,
@@ -109,35 +144,42 @@ def run(
     rmhf_components: "tuple[int, ...]" = FIG7_RMHF_COMPONENTS,
     sameq_steps: "tuple[int, ...]" = FIG7_SAMEQ_STEPS,
 ) -> Fig7Result:
-    """Reproduce the Fig. 7 comparison."""
+    """Reproduce the Fig. 7 comparison.
+
+    With ``config.workers > 1`` every candidate compressor is an
+    independent pool task.  The compression rate is relative to the
+    first candidate (Original), so the ratios are assembled after the
+    map from each task's absolute byte count — the identical numbers
+    the serial loop produced in place.
+    """
     config = config if config is not None else ExperimentConfig.small()
-    train_dataset, test_dataset = make_splits(config)
+    key = config.task_key()
+    state = _STATE.get(key)
     if deepn_config is None:
         deepn_config = derive_design_config(config, anchors=anchors)
-    deepn = DeepNJpeg(deepn_config).fit(train_dataset)
+    deepn = DeepNJpeg(deepn_config).fit(state["train_dataset"])
 
-    result = Fig7Result()
-    reference_test = None
-    for compressor in candidate_compressors(
-        deepn, rmhf_components, sameq_steps
-    ):
-        compressed_train = compressor.compress_dataset(train_dataset)
-        compressed_test = compressor.compress_dataset(test_dataset)
-        if reference_test is None:
-            reference_test = compressed_test
-        classifier = train_classifier(compressed_train, config)
-        method_name = (
-            "Original" if compressor.name == "JPEG (QF=100)" else compressor.name
+    tasks = [
+        (key, compressor)
+        for compressor in candidate_compressors(
+            deepn, rmhf_components, sameq_steps
         )
+    ]
+    try:
+        rows = map_tasks(_candidate_cell, tasks, workers=config.workers)
+    finally:
+        # Release the datasets after the sweep.
+        _STATE.clear()
+    result = Fig7Result()
+    reference_bytes = rows[0][1] if rows else 0
+    for method_name, total_bytes, accuracy, bytes_per_image, mean_psnr in rows:
         result.entries.append(
             Fig7Entry(
                 method=method_name,
-                compression_ratio=relative_compression_rate(
-                    compressed_test, reference_test
-                ),
-                accuracy=classifier.accuracy_on(compressed_test),
-                bytes_per_image=compressed_test.bytes_per_image,
-                mean_psnr=compressed_test.mean_psnr,
+                compression_ratio=reference_bytes / total_bytes,
+                accuracy=accuracy,
+                bytes_per_image=bytes_per_image,
+                mean_psnr=mean_psnr,
             )
         )
     return result

@@ -20,6 +20,27 @@ from repro.core.pipeline import DeepNJpeg, DeepNJpegCompressor
 from repro.experiments.common import ExperimentConfig, format_table, make_splits
 from repro.experiments.design_flow import derive_design_config
 from repro.power.breakdown import offloading_power_breakdown
+from repro.runtime.executor import TaskState, map_tasks
+
+
+def _build_state(config: ExperimentConfig) -> dict:
+    """The test split, reconstructible from the config alone."""
+    _, test_dataset = make_splits(config)
+    return {"test_dataset": test_dataset}
+
+
+_STATE = TaskState(_build_state)
+
+
+def _size_cell(task: tuple) -> tuple:
+    """One candidate: compress the test set and report bytes per image."""
+    key, compressor = task
+    state = _STATE.get(key)
+    compressed = compressor.compress_dataset(state["test_dataset"])
+    method = (
+        "Original" if compressor.name == "JPEG (QF=100)" else compressor.name
+    )
+    return method, compressed.bytes_per_image
 
 
 @dataclass(frozen=True)
@@ -105,15 +126,20 @@ def run(
             SameQCompressor(4),
             DeepNJpegCompressor(deepn),
         ]
-        bytes_per_method = {}
-        for compressor in candidates:
-            compressed = compressor.compress_dataset(test_dataset)
-            method = (
-                "Original"
-                if compressor.name == "JPEG (QF=100)"
-                else compressor.name
+        # Each candidate's test-set compression is an independent pool
+        # task (serial and identical when config.workers == 1).
+        key = config.task_key()
+        _STATE.seed(key, {"test_dataset": test_dataset})
+        try:
+            sizes = map_tasks(
+                _size_cell,
+                [(key, compressor) for compressor in candidates],
+                workers=config.workers,
             )
-            bytes_per_method[method] = compressed.bytes_per_image
+        finally:
+            # Release the test split after the candidate sweep.
+            _STATE.clear()
+        bytes_per_method = dict(sizes)
     breakdowns = offloading_power_breakdown(
         bytes_per_method,
         reference_method=next(iter(bytes_per_method)),

@@ -15,19 +15,40 @@ from repro.nn.dtype import as_float
 
 
 class ReLU(Layer):
-    """Rectified linear unit, ``max(x, 0)``."""
+    """Rectified linear unit, ``max(x, 0)``.
+
+    Supports the fused conv→ReLU inference epilogue: when the preceding
+    layer applies the rectification in place on its own output,
+    :class:`~repro.nn.base.Sequential` skips this layer's forward and
+    hands it the fused output via :meth:`accept_fused_output`.  A later
+    backward (the saliency path runs one after an inference forward)
+    recomputes the mask from that output — ``max(x, 0) > 0`` if and
+    only if ``x > 0``, so the recovered mask is exact.
+    """
+
+    #: Advertises to Sequential that a producer may fuse this activation.
+    accepts_fused_relu = True
 
     def __init__(self) -> None:
         self._mask = None
+        self._fused_output = None
 
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
         inputs = as_float(inputs)
+        self._fused_output = None
         self._mask = inputs > 0
         return inputs * self._mask
 
+    def accept_fused_output(self, outputs: np.ndarray) -> None:
+        """Record the already-rectified output of a fused forward."""
+        self._mask = None
+        self._fused_output = outputs
+
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._mask is None:
-            raise RuntimeError("backward called before forward")
+            if self._fused_output is None:
+                raise RuntimeError("backward called before forward")
+            self._mask = self._fused_output > 0
         return as_float(grad_output) * self._mask
 
 

@@ -81,11 +81,23 @@ class Layer:
 
 
 class Sequential(Layer):
-    """A layer that applies its children in order."""
+    """A layer that applies its children in order.
+
+    On the inference path (``training=False``) adjacent fusible pairs —
+    a layer exposing ``forward_fused_relu`` followed by an activation
+    with ``accepts_fused_relu`` (conv → ReLU in every built-in model) —
+    run as one fused step: the ReLU is applied in place on the
+    producer's GEMM output, skipping the activation's separate mask and
+    multiply passes.  The skipped activation is handed the fused output
+    so a backward pass after an inference forward (the saliency
+    analysis) still works.  ``fuse_inference=False`` restores the
+    layer-by-layer path; both produce equal outputs.
+    """
 
     def __init__(self, layers: "list[Layer]" = None, name: str = "sequential") -> None:
         self.layers = list(layers) if layers is not None else []
         self.name = name
+        self.fuse_inference = True
 
     def add(self, layer: Layer) -> "Sequential":
         """Append a layer and return ``self`` for chaining."""
@@ -93,9 +105,26 @@ class Sequential(Layer):
         return self
 
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
+        fuse = not training and getattr(self, "fuse_inference", True)
         outputs = inputs
-        for layer in self.layers:
+        index = 0
+        while index < len(self.layers):
+            layer = self.layers[index]
+            successor = (
+                self.layers[index + 1]
+                if fuse and index + 1 < len(self.layers) else None
+            )
+            if (
+                successor is not None
+                and hasattr(layer, "forward_fused_relu")
+                and getattr(successor, "accepts_fused_relu", False)
+            ):
+                outputs = layer.forward_fused_relu(outputs)
+                successor.accept_fused_output(outputs)
+                index += 2
+                continue
             outputs = layer.forward(outputs, training=training)
+            index += 1
         return outputs
 
     def backward(

@@ -109,6 +109,18 @@ class Conv2D(Layer):
             self._cache = (inputs.shape, None, inputs)
         return outputs.reshape(batch, self.out_channels, out_h, out_w)
 
+    def forward_fused_relu(self, inputs: np.ndarray) -> np.ndarray:
+        """Inference forward with the successor ReLU fused in place.
+
+        Called by :class:`~repro.nn.base.Sequential` when this layer is
+        immediately followed by a ReLU and ``training=False``: the
+        rectification happens with one in-place ``maximum`` on the conv
+        GEMM output instead of the activation's separate mask-allocate
+        and multiply passes.  Outputs equal ``ReLU(forward(inputs))``.
+        """
+        outputs = self.forward(inputs, training=False)
+        return np.maximum(outputs, 0.0, out=outputs)
+
     def backward_params_only(self, grad_output: np.ndarray) -> None:
         """Accumulate weight/bias gradients without the input gradient.
 

@@ -1,0 +1,33 @@
+"""Process-pool experiment runtime.
+
+:mod:`repro.runtime.executor` is the execution layer behind the
+``workers=`` knob threaded through
+:class:`~repro.experiments.common.ExperimentConfig`, the dataset
+compression entry points in :mod:`repro.core.baselines` and every
+``fig*`` experiment sweep: deterministic task sharding with a serial
+fallback that is bit-identical to the historical single-process loops.
+"""
+
+from repro.runtime.executor import (
+    TaskState,
+    available_workers,
+    chunk_bounds,
+    default_chunksize,
+    effective_workers,
+    fork_available,
+    imap_tasks,
+    map_tasks,
+    spawn_seeds,
+)
+
+__all__ = [
+    "TaskState",
+    "available_workers",
+    "chunk_bounds",
+    "default_chunksize",
+    "effective_workers",
+    "fork_available",
+    "imap_tasks",
+    "map_tasks",
+    "spawn_seeds",
+]

@@ -1,0 +1,237 @@
+"""Multi-process execution layer for sweeps and codec batches.
+
+Every outer loop of the reproduction — the per-figure experiment grids
+and the dataset-level codec batches — funnels through :func:`map_tasks`:
+a list of picklable task descriptions is mapped over a module-level task
+function, either serially in-process (``workers=1``, the default, which
+runs the exact same function objects in the exact same order as the
+historical loops and is therefore bit-identical to them) or through a
+:class:`concurrent.futures.ProcessPoolExecutor` with chunked scheduling
+and in-order reassembly.
+
+Design rules the callers follow:
+
+* Task descriptions are small (configs, grid-cell parameters, chunk
+  bounds) — never live arrays.  Heavy shared state (datasets, trained
+  classifiers, codecs) lives in a per-figure :class:`TaskState` memo
+  that the parent populates before the pool is created; ``fork``-started
+  workers inherit it for free, and a cold worker can rebuild it from the
+  config carried by the task itself.
+* Results are reassembled in task order, so any worker count produces
+  the same output list as the serial path.
+* Randomness, where a task needs it, comes from
+  :func:`spawn_seeds` — ``numpy.random.SeedSequence.spawn`` children of
+  one base seed, assigned per *task* (not per worker), so streams are
+  identical for any worker count.  (The current figure grids are fully
+  deterministic from their ``ExperimentConfig`` seeds and do not draw
+  per-task randomness; :func:`spawn_seeds` is the sanctioned mechanism
+  for future stochastic tasks.)
+
+Parallelism requires the ``fork`` start method (Linux / most POSIX):
+with ``spawn``-only platforms :func:`map_tasks` silently degrades to the
+serial path rather than risking stale or expensive worker state.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+import multiprocessing
+import os
+import sys
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+
+def available_workers() -> int:
+    """Number of CPUs usable by a process pool on this machine."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def fork_available() -> bool:
+    """Whether ``fork`` exists *and is safe* on this platform.
+
+    macOS technically offers the ``fork`` start method but forking after
+    the parent has touched Accelerate/BLAS or ObjC frameworks — which
+    any NumPy workload has — can abort or deadlock the children, so the
+    runtime treats it (and every other non-Linux POSIX) as
+    fork-unsafe and degrades to the serial path instead.
+    """
+    return sys.platform.startswith("linux") and (
+        "fork" in multiprocessing.get_all_start_methods()
+    )
+
+
+def effective_workers(workers, task_count: int = None) -> int:
+    """Resolve a ``workers`` knob into a concrete pool size.
+
+    ``1`` (the default everywhere) means serial; ``N > 1`` a pool of N;
+    ``0`` or ``None`` means one worker per available CPU.  The result is
+    additionally capped by ``task_count`` when given — a pool larger
+    than the task list only costs fork time.
+    """
+    if workers is None or workers == 0:
+        count = available_workers()
+    else:
+        count = int(workers)
+        if count < 0:
+            raise ValueError(f"workers must be non-negative, got {workers}")
+    if task_count is not None:
+        count = min(count, max(int(task_count), 1))
+    return max(count, 1)
+
+
+def default_chunksize(task_count: int, workers: int) -> int:
+    """Tasks per pool dispatch: ~4 dispatches per worker.
+
+    Small enough to balance uneven task costs across the pool, large
+    enough that per-dispatch pickling does not dominate for fine tasks.
+    """
+    if task_count <= 0 or workers <= 0:
+        return 1
+    return max(1, math.ceil(task_count / (workers * 4)))
+
+
+def chunk_bounds(total: int, chunk: int) -> "list[tuple[int, int]]":
+    """Ordered ``(start, stop)`` shards covering ``range(total)``.
+
+    The contract the codec sharding relies on: an empty input yields no
+    chunks (not one empty chunk), a chunk size larger than the total
+    yields a single short chunk, and a remainder yields a short final
+    chunk.  Concatenating the shards in order always reproduces the
+    original range exactly.
+    """
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    if chunk < 1:
+        raise ValueError(f"chunk must be at least 1, got {chunk}")
+    return [
+        (start, min(start + chunk, total)) for start in range(0, total, chunk)
+    ]
+
+
+def spawn_seeds(seed, count: int) -> "list[np.random.SeedSequence]":
+    """``count`` independent child :class:`~numpy.random.SeedSequence`\\ s.
+
+    Children are derived with ``SeedSequence.spawn``, so the streams are
+    statistically independent of each other and of the parent, and —
+    because they are assigned per task index, not per worker — identical
+    for every worker count.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    return np.random.SeedSequence(seed).spawn(count)
+
+
+def map_tasks(
+    function,
+    tasks,
+    workers: int = 1,
+    chunksize: int = None,
+) -> list:
+    """Map ``function`` over ``tasks``, serially or through a process pool.
+
+    Results come back in task order regardless of worker count.  With
+    ``workers=1`` (or a single task, or no ``fork`` support) the map
+    runs in-process — the same calls in the same order as a plain loop,
+    so serial results are bit-identical to the pre-runtime behaviour.
+    A task that raises propagates its exception to the caller and tears
+    the pool down cleanly; the next :func:`map_tasks` call starts a
+    fresh pool, so one poisoned sweep never wedges the runtime.
+
+    ``function`` must be picklable (a module-level function) when a pool
+    is used; each element of ``tasks`` is passed as its single argument.
+    """
+    tasks = list(tasks)
+    count = effective_workers(workers, task_count=len(tasks))
+    if count <= 1 or len(tasks) <= 1 or not fork_available():
+        return [function(task) for task in tasks]
+    if chunksize is None:
+        chunksize = default_chunksize(len(tasks), count)
+    context = multiprocessing.get_context("fork")
+    with ProcessPoolExecutor(max_workers=count, mp_context=context) as pool:
+        return list(pool.map(function, tasks, chunksize=chunksize))
+
+
+def imap_tasks(
+    function,
+    tasks,
+    workers: int = 1,
+    window: int = None,
+):
+    """Like :func:`map_tasks`, but a generator with bounded buffering.
+
+    Yields results in task order while keeping at most ``window``
+    (default ``2 * workers``) tasks outstanding — submitted but not yet
+    consumed — so a slow consumer exerts backpressure on the pool
+    instead of letting every result pile up in memory.  The codec
+    sharding uses this to keep the parallel dataset path under the same
+    peak-memory bound as the serial chunked loop.
+
+    The serial fallback conditions match :func:`map_tasks`; the pool
+    lives for the lifetime of the generator and is torn down when it is
+    exhausted (or closed early).
+    """
+    tasks = list(tasks)
+    count = effective_workers(workers, task_count=len(tasks))
+    if count <= 1 or len(tasks) <= 1 or not fork_available():
+        for task in tasks:
+            yield function(task)
+        return
+    if window is None:
+        window = 2 * count
+    window = max(int(window), 1)
+    context = multiprocessing.get_context("fork")
+    with ProcessPoolExecutor(max_workers=count, mp_context=context) as pool:
+        pending = deque()
+        iterator = iter(tasks)
+        for task in itertools.islice(iterator, window):
+            pending.append(pool.submit(function, task))
+        for task in iterator:
+            yield pending.popleft().result()
+            pending.append(pool.submit(function, task))
+        while pending:
+            yield pending.popleft().result()
+
+
+class TaskState:
+    """Single-slot, process-local memo for heavy shared task state.
+
+    A figure module declares one ``TaskState(build)`` at module level;
+    ``build(key)`` reconstructs the state (datasets, classifiers, shared
+    codecs) from a small hashable key — typically an
+    :class:`~repro.experiments.common.ExperimentConfig`.  The parent
+    process calls :meth:`seed` with the state it built for its own use
+    before opening the pool, so ``fork`` workers inherit it without any
+    pickling; a worker whose memo is cold (``spawn`` platforms, or a
+    state the parent never built) falls back to ``build(key)``.
+
+    Only the most recent key is cached: figure sweeps use one state for
+    the whole grid, and a single slot cannot leak across scales.
+    """
+
+    def __init__(self, build) -> None:
+        self._build = build
+        self._key = None
+        self._value = None
+
+    def seed(self, key, value) -> None:
+        """Install parent-built state for ``key`` (pre-fork)."""
+        self._key = key
+        self._value = value
+
+    def get(self, key):
+        """The state for ``key``, rebuilding it if the memo is cold."""
+        if self._value is None or self._key != key:
+            self.seed(key, self._build(key))
+        return self._value
+
+    def clear(self) -> None:
+        """Drop the cached state (used by tests)."""
+        self._key = None
+        self._value = None

@@ -1,0 +1,139 @@
+"""Sharded dataset compression: edge cases and worker-count determinism."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import (
+    JpegCompressor,
+    compress_batch,
+    compress_dataset_with_table,
+)
+from repro.data.dataset import Dataset
+from repro.jpeg.codec import GrayscaleJpegCodec
+from repro.jpeg.quantization import QuantizationTable
+
+
+@pytest.fixture(scope="module")
+def luma_table():
+    return QuantizationTable.standard_luminance(90)
+
+
+@pytest.fixture(scope="module")
+def gray_stack():
+    rng = np.random.default_rng(11)
+    return rng.uniform(0.0, 255.0, size=(7, 24, 24)).round()
+
+
+@pytest.fixture(scope="module")
+def color_stack():
+    rng = np.random.default_rng(12)
+    return rng.uniform(0.0, 255.0, size=(5, 16, 16, 3)).round()
+
+
+def _assert_results_equal(left, right):
+    assert len(left) == len(right)
+    for first, second in zip(left, right):
+        assert first.payload_bytes == second.payload_bytes
+        assert first.header_bytes == second.header_bytes
+        assert first.original_bytes == second.original_bytes
+        np.testing.assert_array_equal(
+            first.reconstructed, second.reconstructed
+        )
+
+
+class TestEdgeCases:
+    """The cases the sharding hits: empty, oversized chunk, odd tail."""
+
+    def test_empty_grayscale_stack(self, luma_table):
+        assert compress_batch(np.empty((0, 16, 16)), luma_table) == []
+
+    def test_empty_color_stack(self, luma_table):
+        assert compress_batch(np.empty((0, 16, 16, 3)), luma_table) == []
+
+    def test_empty_stack_with_workers(self, luma_table):
+        # No images, no results — and no pool is ever forked.
+        assert compress_batch(
+            np.empty((0, 16, 16)), luma_table, workers=4
+        ) == []
+
+    def test_empty_dataset_through_table_path(self, luma_table):
+        dataset = Dataset(
+            images=np.empty((0, 16, 16)),
+            labels=np.empty((0,), dtype=np.intp),
+            class_names=["only"],
+        )
+        for workers in (1, 3):
+            compressed = compress_dataset_with_table(
+                dataset, luma_table, workers=workers
+            )
+            assert len(compressed.dataset) == 0
+            assert compressed.payload_bytes == 0
+            assert compressed.header_bytes == 0
+
+    def test_single_image_stack(self, luma_table, gray_stack):
+        results = compress_batch(gray_stack[:1], luma_table, workers=4)
+        reference = GrayscaleJpegCodec(luma_table).compress(gray_stack[0])
+        assert len(results) == 1
+        assert results[0].payload_bytes == reference.payload_bytes
+        np.testing.assert_array_equal(
+            results[0].reconstructed, reference.reconstructed
+        )
+
+    def test_worker_count_exceeding_stack(self, luma_table, gray_stack):
+        # More workers than images: every shard is short, results exact.
+        serial = compress_batch(gray_stack, luma_table, workers=1)
+        oversubscribed = compress_batch(gray_stack, luma_table, workers=32)
+        _assert_results_equal(serial, oversubscribed)
+
+    def test_odd_final_chunk(self, luma_table, gray_stack):
+        # 7 images over 3 workers -> 2-image shards with a short tail.
+        serial = compress_batch(gray_stack, luma_table, workers=1)
+        parallel = compress_batch(gray_stack, luma_table, workers=3)
+        _assert_results_equal(serial, parallel)
+
+
+class TestWorkerDeterminism:
+    def test_grayscale_streams_identical_across_worker_counts(
+        self, luma_table, gray_stack
+    ):
+        serial = compress_batch(gray_stack, luma_table, workers=1)
+        parallel = compress_batch(gray_stack, luma_table, workers=4)
+        _assert_results_equal(serial, parallel)
+        # And both equal the historical per-image path.
+        codec = GrayscaleJpegCodec(luma_table)
+        per_image = [codec.compress(image) for image in gray_stack]
+        _assert_results_equal(serial, per_image)
+
+    def test_color_streams_identical_across_worker_counts(
+        self, luma_table, color_stack
+    ):
+        serial = compress_batch(color_stack, luma_table, workers=1)
+        parallel = compress_batch(color_stack, luma_table, workers=4)
+        _assert_results_equal(serial, parallel)
+
+    def test_dataset_aggregates_identical(self, gray_stack):
+        dataset = Dataset(
+            images=gray_stack,
+            labels=np.zeros(gray_stack.shape[0], dtype=np.intp),
+            class_names=["only"],
+        )
+        compressor = JpegCompressor(85)
+        serial = compressor.compress_dataset(dataset)
+        parallel = compressor.compress_dataset(dataset, workers=4)
+        assert serial.payload_bytes == parallel.payload_bytes
+        assert serial.header_bytes == parallel.header_bytes
+        assert serial.mean_psnr == parallel.mean_psnr
+        np.testing.assert_array_equal(
+            serial.dataset.images, parallel.dataset.images
+        )
+
+    def test_optimized_huffman_sharding(self, luma_table, gray_stack):
+        # Per-image optimized tables fall back to the per-image path in
+        # each shard; results still independent of the worker count.
+        serial = compress_batch(
+            gray_stack, luma_table, optimize_huffman=True, workers=1
+        )
+        parallel = compress_batch(
+            gray_stack, luma_table, optimize_huffman=True, workers=3
+        )
+        _assert_results_equal(serial, parallel)

@@ -1,0 +1,129 @@
+"""Worker-count determinism of the experiment sweeps.
+
+Every figure grid must produce identical results — entries, ordering,
+trained-classifier accuracies — for ``workers=1`` and ``workers=4``.
+The state memos are cleared between runs so the parallel run rebuilds
+everything from the config instead of reusing the serial run's state.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ExperimentConfig,
+    fig2_motivation,
+    fig3_feature_removal,
+    fig5_band_sensitivity,
+    fig6_k3_sweep,
+    fig7_methods,
+    fig8_generality,
+    fig9_power,
+)
+from repro.experiments.design_flow import derive_design_config
+
+#: Smallest configuration that still exercises every code path.
+MICRO = ExperimentConfig(
+    images_per_class=6, image_size=16, epochs=2, batch_size=8
+)
+MICRO_PARALLEL = MICRO.with_overrides(workers=4)
+FIXED_ANCHORS = {"q1": 60.0, "q2": 20.0, "q_min": 5.0}
+
+
+def test_workers_knob_validated():
+    with pytest.raises(ValueError):
+        ExperimentConfig(workers=-1)
+
+
+def test_task_key_normalises_workers():
+    assert MICRO_PARALLEL.task_key() == MICRO.task_key()
+    assert MICRO_PARALLEL.task_key().workers == 1
+
+
+def test_fig5_entries_identical_across_worker_counts():
+    sweeps = {"LF": (1, 5), "MF": (1, 40), "HF": (1, 80)}
+    serial = fig5_band_sensitivity.run(MICRO, step_sweeps=sweeps)
+    fig5_band_sensitivity._STATE.clear()
+    parallel = fig5_band_sensitivity.run(MICRO_PARALLEL, step_sweeps=sweeps)
+    assert serial.baseline_accuracy == parallel.baseline_accuracy
+    assert serial.entries == parallel.entries
+    assert serial.derived_anchors() == parallel.derived_anchors()
+
+
+def test_fig6_classifier_accuracies_identical_across_worker_counts():
+    serial = fig6_k3_sweep.run(
+        MICRO, k3_values=(1.0, 3.0), anchors=FIXED_ANCHORS
+    )
+    fig6_k3_sweep._STATE.clear()
+    parallel = fig6_k3_sweep.run(
+        MICRO_PARALLEL, k3_values=(1.0, 3.0), anchors=FIXED_ANCHORS
+    )
+    # Each worker trains its own classifier from the config seeds; the
+    # resulting accuracies must match the in-process training exactly.
+    assert serial.baseline_accuracy == parallel.baseline_accuracy
+    assert serial.entries == parallel.entries
+
+
+def test_fig2_entries_identical_across_worker_counts():
+    serial = fig2_motivation.run(MICRO, quality_factors=(100, 20))
+    fig2_motivation._STATE.clear()
+    parallel = fig2_motivation.run(MICRO_PARALLEL, quality_factors=(100, 20))
+    assert serial.entries == parallel.entries
+
+
+def test_fig3_entries_identical_across_worker_counts():
+    serial = fig3_feature_removal.run(MICRO, removed_components=(0, 6))
+    fig3_feature_removal._STATE.clear()
+    parallel = fig3_feature_removal.run(
+        MICRO_PARALLEL, removed_components=(0, 6)
+    )
+    assert serial.entries == parallel.entries
+
+
+def test_fig7_entries_identical_across_worker_counts():
+    """fig7 is the one sweep that pickles live compressor objects
+    (including a fitted DeepN-JPEG pipeline) into its tasks."""
+    design = derive_design_config(MICRO, anchors=FIXED_ANCHORS)
+    serial = fig7_methods.run(
+        MICRO, deepn_config=design, rmhf_components=(3,), sameq_steps=(8,)
+    )
+    fig7_methods._STATE.clear()
+    parallel = fig7_methods.run(
+        MICRO_PARALLEL, deepn_config=design,
+        rmhf_components=(3,), sameq_steps=(8,),
+    )
+    assert serial.entries == parallel.entries
+    assert parallel.original_entry().compression_ratio == 1.0
+
+
+def test_fig8_entries_identical_across_worker_counts():
+    """fig8's state is seed-only (never rebuilt cold); the workers must
+    see the parent's compressed datasets through the forked memo."""
+    design = derive_design_config(MICRO, anchors=FIXED_ANCHORS)
+    serial = fig8_generality.run(
+        MICRO, model_names=("AlexNet",), deepn_config=design, epochs=1
+    )
+    parallel = fig8_generality.run(
+        MICRO_PARALLEL, model_names=("AlexNet",), deepn_config=design,
+        epochs=1,
+    )
+    assert serial.entries == parallel.entries
+
+
+def test_fig9_entries_identical_across_worker_counts():
+    design = derive_design_config(MICRO, anchors=FIXED_ANCHORS)
+    serial = fig9_power.run(MICRO, deepn_config=design)
+    fig9_power._STATE.clear()
+    parallel = fig9_power.run(MICRO_PARALLEL, deepn_config=design)
+    assert serial.entries == parallel.entries
+
+
+def test_state_memos_released_after_sweeps():
+    """Sweeps must not pin datasets/classifiers after returning."""
+    fig5_band_sensitivity.run(
+        MICRO, step_sweeps={"LF": (1,), "MF": (1,), "HF": (1,)}
+    )
+    assert fig5_band_sensitivity._STATE._value is None
+    fig9_power.run(
+        MICRO,
+        bytes_per_method={"Original": 1000.0, "DeepN-JPEG": 250.0},
+    )
+    assert fig9_power._STATE._value is None
