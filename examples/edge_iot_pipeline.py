@@ -7,14 +7,22 @@ compressor) classifies them.  The script compares standard JPEG and
 DeepN-JPEG end to end: classification accuracy, upload volume, upload
 latency and transmit energy per image on 3G / LTE / Wi-Fi.
 
+The fitted DeepN-JPEG pipeline is also saved to / reloaded from a JSON
+artifact — the ship-to-the-edge step: the server fits the table once,
+every sensor loads the artifact and compresses bit-identically.
+
 Run with::
 
     python examples/edge_iot_pipeline.py
 """
 
+import os
+import tempfile
+
 from repro.core import DeepNJpeg, DeepNJpegConfig, JpegCompressor
 from repro.data import train_test_split, generate_freqnet, FreqNetConfig
 from repro.experiments.common import ExperimentConfig, format_table, train_classifier
+from repro.jpeg import decode_image_bytes
 from repro.power import WIRELESS_LINKS
 
 
@@ -31,10 +39,28 @@ def main() -> None:
         dataset, test_fraction=config.test_fraction, seed=config.split_seed
     )
 
+    # Fit once (the cloud side), save the artifact, and hand every edge
+    # device the reloaded pipeline — compression is bit-identical.
+    fitted = DeepNJpeg(DeepNJpegConfig(sampling_interval=2)).fit(train_set)
+    artifact_path = os.path.join(
+        tempfile.gettempdir(), "deepn_jpeg_edge_artifact.json"
+    )
+    fitted.save(artifact_path)
+    edge_pipeline = DeepNJpeg.load(artifact_path)
+    sample = test_set.images[0]
+    container = edge_pipeline.encode_to_bytes(sample)
+    decoded = decode_image_bytes(container)
+    print(
+        f"fitted artifact: {artifact_path} "
+        f"({os.path.getsize(artifact_path)} bytes); one {sample.shape} "
+        f"sample ships as a {len(container)}-byte self-contained "
+        f"container (decoded shape {decoded.shape})\n"
+    )
+
     candidates = {
         "JPEG QF=100": JpegCompressor(100),
         "JPEG QF=50": JpegCompressor(50),
-        "DeepN-JPEG": DeepNJpeg(DeepNJpegConfig(sampling_interval=2)).fit(train_set),
+        "DeepN-JPEG": edge_pipeline,
     }
 
     rows = []

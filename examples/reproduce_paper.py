@@ -12,9 +12,16 @@ and training length:
 compression behind it) over N processes; ``--workers 0`` uses every
 CPU.  Results are identical for any worker count.
 
+``--artifacts-dir DIR`` writes every grid-cell result through a
+content-addressed artifact store rooted at DIR: an interrupted or
+repeated invocation with the same configuration resumes from the
+completed cells instead of recomputing them (at the same scale a fully
+warm store replays all seven figures in seconds).
+
 Run with::
 
-    python examples/reproduce_paper.py --scale small --workers 4
+    python examples/reproduce_paper.py --scale small --workers 4 \
+        --artifacts-dir artifacts/
 """
 
 from __future__ import annotations
@@ -22,7 +29,7 @@ from __future__ import annotations
 import argparse
 import time
 
-from repro.experiments import ExperimentConfig
+from repro.experiments import ArtifactStore, ExperimentConfig
 from repro.experiments import (
     fig2_motivation,
     fig3_feature_removal,
@@ -66,15 +73,24 @@ def main() -> None:
         help="processes per experiment sweep (1 = serial, 0 = all CPUs); "
         "results are identical for any worker count",
     )
+    parser.add_argument(
+        "--artifacts-dir", default=None,
+        help="content-addressed artifact store directory; re-runs with the "
+        "same configuration resume from completed grid cells",
+    )
     arguments = parser.parse_args()
     config = SCALES[arguments.scale]().with_overrides(
         workers=arguments.workers
+    )
+    store = (
+        ArtifactStore(arguments.artifacts_dir)
+        if arguments.artifacts_dir else None
     )
     started = time.time()
 
     _banner("Fig. 2 — accuracy vs JPEG compression (CASE 1 / CASE 2)")
     if "fig2" not in arguments.skip:
-        fig2 = fig2_motivation.run(config)
+        fig2 = fig2_motivation.run(config, store=store)
         print(fig2.format_table())
         print("\nCASE 2 accuracy per epoch (Fig. 2b):")
         for quality, curve in fig2.epoch_curves().items():
@@ -82,13 +98,13 @@ def main() -> None:
 
     _banner("Fig. 3 — removing high-frequency components flips predictions")
     if "fig3" not in arguments.skip:
-        fig3 = fig3_feature_removal.run(config)
+        fig3 = fig3_feature_removal.run(config, store=store)
         print(fig3.format_table())
 
     _banner("Fig. 5 — per-band-group sensitivity (magnitude vs position)")
     anchors = None
     if "fig5" not in arguments.skip:
-        fig5 = fig5_band_sensitivity.run(config)
+        fig5 = fig5_band_sensitivity.run(config, store=store)
         print(fig5.format_table())
         anchors = fig5.derived_anchors()
         print(f"\nDerived design anchors: {anchors}")
@@ -96,23 +112,26 @@ def main() -> None:
     _banner("Fig. 6 — LF slope k3 sweep")
     chosen_k3 = 3.0
     if "fig6" not in arguments.skip:
-        fig6 = fig6_k3_sweep.run(config, anchors=anchors)
+        fig6 = fig6_k3_sweep.run(config, anchors=anchors, store=store)
         print(fig6.format_table())
         chosen_k3 = fig6.best_k3()
         print(f"\nSelected k3 = {chosen_k3:g}")
 
-    deepn_config = derive_design_config(config, anchors=anchors, k3=chosen_k3)
+    deepn_config = derive_design_config(
+        config, anchors=anchors, k3=chosen_k3, store=store
+    )
 
     _banner("Fig. 7 — compression rate and accuracy of all candidates")
     fig7 = None
     if "fig7" not in arguments.skip:
-        fig7 = fig7_methods.run(config, deepn_config=deepn_config)
+        fig7 = fig7_methods.run(config, deepn_config=deepn_config, store=store)
         print(fig7.format_table())
 
     _banner("Fig. 8 — generality across DNN architectures")
     if "fig8" not in arguments.skip:
         fig8 = fig8_generality.run(
-            config, deepn_config=deepn_config, epochs=arguments.fig8_epochs
+            config, deepn_config=deepn_config, epochs=arguments.fig8_epochs,
+            store=store,
         )
         print(fig8.format_table())
 
@@ -127,7 +146,8 @@ def main() -> None:
                 if method in sizes
             }
         fig9 = fig9_power.run(
-            config, deepn_config=deepn_config, bytes_per_method=bytes_per_method
+            config, deepn_config=deepn_config,
+            bytes_per_method=bytes_per_method, store=store,
         )
         print(fig9.format_table())
 

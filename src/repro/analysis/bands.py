@@ -78,6 +78,21 @@ class BandSegmentation:
         """Number of bands per group."""
         return {group: int((self.groups == group).sum()) for group in _GROUPS}
 
+    def to_json(self) -> dict:
+        """JSON-able payload round-tripping the segmentation exactly."""
+        return {
+            "groups": [[str(g) for g in row] for row in self.groups],
+            "method": self.method,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "BandSegmentation":
+        """Rebuild a segmentation from a :meth:`to_json` payload."""
+        return cls(
+            groups=np.asarray(payload["groups"], dtype=object),
+            method=str(payload["method"]),
+        )
+
 
 def magnitude_based_segmentation(
     statistics: FrequencyStatistics,

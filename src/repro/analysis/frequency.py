@@ -12,6 +12,7 @@ piece-wise linear mapping converts into quantization steps.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -82,6 +83,29 @@ class FrequencyStatistics:
         except KeyError:
             raise ValueError(f"({row}, {col}) is not a frequency band") from None
 
+    def to_json(self) -> dict:
+        """JSON-able payload round-tripping the statistics exactly.
+
+        Floats serialize via ``repr``-shortest JSON numbers, which
+        Python parses back to the identical float64 bit patterns.
+        """
+        return {
+            "std": [[float(v) for v in row] for row in self.std],
+            "mean": [[float(v) for v in row] for row in self.mean],
+            "block_count": int(self.block_count),
+            "image_count": int(self.image_count),
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "FrequencyStatistics":
+        """Rebuild statistics from a :meth:`to_json` payload."""
+        return cls(
+            std=np.asarray(payload["std"], dtype=np.float64),
+            mean=np.asarray(payload["mean"], dtype=np.float64),
+            block_count=int(payload["block_count"]),
+            image_count=int(payload["image_count"]),
+        )
+
     def ac_energy_fraction_above(self, zigzag_position: int) -> float:
         """Fraction of AC energy (variance) in zig-zag bands >= ``position``."""
         if not 1 <= zigzag_position < 64:
@@ -133,7 +157,7 @@ def analyze_images(images: np.ndarray) -> FrequencyStatistics:
 
 
 def analyze_dataset(
-    dataset: Dataset, interval: int = 1, max_per_class: int = None
+    dataset: Dataset, interval: int = 1, max_per_class: Optional[int] = None
 ) -> FrequencyStatistics:
     """Algorithm 1 end-to-end: sample each class, then analyse the sample.
 

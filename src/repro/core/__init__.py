@@ -27,12 +27,23 @@ from repro.core.baselines import (
     compress_batch,
     compress_dataset_with_table,
 )
+from repro.core.codec import (
+    Codec,
+    build_codec,
+    build_codec_from_spec,
+    codec_for_stack,
+    codec_names,
+    compress_stack,
+    register_codec,
+    unregister_codec,
+)
 from repro.core.config import DeepNJpegConfig
 from repro.core.pipeline import DeepNJpeg, DeepNJpegCompressor
 from repro.core.plm import PiecewiseLinearMapping
 from repro.core.table_design import DeepNJpegTableDesigner, TableDesignResult
 
 __all__ = [
+    "Codec",
     "CompressedDataset",
     "DatasetCompressor",
     "DeepNJpeg",
@@ -44,6 +55,13 @@ __all__ = [
     "RemoveHighFrequencyCompressor",
     "SameQCompressor",
     "TableDesignResult",
+    "build_codec",
+    "build_codec_from_spec",
+    "codec_for_stack",
+    "codec_names",
     "compress_batch",
     "compress_dataset_with_table",
+    "compress_stack",
+    "register_codec",
+    "unregister_codec",
 ]

@@ -19,16 +19,22 @@ reconstructed images (to feed a classifier) and the measured byte counts
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
-from repro.data.dataset import Dataset
-from repro.jpeg.codec import (
-    ColorJpegCodec,
-    CompressionResult,
-    GrayscaleJpegCodec,
+from repro.core.codec import (
+    codec_for_image,
+    codec_for_stack,
+    compress_stack,
+    decode_encoded,
+    iter_compressed_stack,
+    modality_header_bytes,
+    register_builtin_codec,
 )
-from repro.jpeg.metrics import psnr
+from repro.data.dataset import Dataset
+from repro.jpeg.codec import CompressionResult
+from repro.jpeg.metrics import CompressedSizeMixin, psnr
 from repro.jpeg.quantization import (
     MAX_QUANT_STEP,
     QuantizationTable,
@@ -37,11 +43,10 @@ from repro.jpeg.quantization import (
     scale_table_for_quality,
 )
 from repro.jpeg.zigzag import ZIGZAG_ORDER
-from repro.runtime.executor import chunk_bounds, effective_workers, imap_tasks
 
 
 @dataclass(frozen=True)
-class CompressedDataset:
+class CompressedDataset(CompressedSizeMixin):
     """Result of compressing every image of a dataset.
 
     Attributes
@@ -56,6 +61,10 @@ class CompressedDataset:
         Total uncompressed size (one byte per sample value).
     mean_psnr:
         Mean PSNR of the reconstructions against the originals.
+
+    ``total_bytes`` / ``compression_ratio`` / ``payload_compression_ratio``
+    come from :class:`~repro.jpeg.metrics.CompressedSizeMixin` (shared
+    with the per-image :class:`~repro.jpeg.codec.CompressionResult`).
     """
 
     dataset: Dataset
@@ -66,141 +75,15 @@ class CompressedDataset:
     mean_psnr: float
 
     @property
-    def total_bytes(self) -> int:
-        """Compressed size including per-image headers."""
-        return self.payload_bytes + self.header_bytes
-
-    @property
-    def compression_ratio(self) -> float:
-        """Dataset-level compression ratio (original / compressed)."""
-        return self.original_bytes / self.total_bytes
-
-    @property
-    def payload_compression_ratio(self) -> float:
-        """Compression ratio counting only entropy-coded payload."""
-        return self.original_bytes / self.payload_bytes
-
-    @property
     def bytes_per_image(self) -> float:
         """Average compressed size per image."""
         return self.total_bytes / len(self.dataset)
 
 
-#: Cap on images per vectorized batch in the dataset path.
-_BATCH_CHUNK = 1024
-
-#: Rough budget for per-chunk float64 intermediates (the batch pipeline
-#: holds roughly ten image-sized float64 arrays at once: colour planes,
-#: quantized blocks, code arrays, reconstructions).
-_BATCH_CHUNK_BYTES = 256 * 2 ** 20
-
-
-def _batch_chunk_size(image_shape: tuple) -> int:
-    """Images per chunk: capped by count and by intermediate bytes.
-
-    Small images (the experiment datasets) get the full 1024-image
-    chunk; large images shrink the chunk so the whole-batch float64
-    intermediates stay near :data:`_BATCH_CHUNK_BYTES` instead of
-    scaling with image area.
-    """
-    per_image = 10 * 8 * int(np.prod(image_shape))
-    return int(max(1, min(_BATCH_CHUNK, _BATCH_CHUNK_BYTES // per_image)))
-
-
-def _codec_for_stack(
-    images: np.ndarray,
-    luma_table: QuantizationTable,
-    chroma_table: QuantizationTable,
-    optimize_huffman: bool,
-):
-    """The shared codec implied by a stack's shape (validated)."""
-    if images.ndim == 4:
-        return ColorJpegCodec(
-            luma_table,
-            chroma_table if chroma_table is not None else luma_table,
-            optimize_huffman=optimize_huffman,
-        )
-    if images.ndim == 3:
-        if images.shape[-1] == 3:
-            raise ValueError(
-                f"ambiguous shape {images.shape}: could be one (H, W, 3) "
-                "RGB image or a stack of 3-pixel-wide grayscale images; "
-                "pass images[np.newaxis] for a single RGB image, or use "
-                "GrayscaleJpegCodec.compress_batch directly for 3-wide "
-                "grayscale stacks"
-            )
-        return GrayscaleJpegCodec(
-            luma_table, optimize_huffman=optimize_huffman
-        )
-    raise ValueError(
-        "expected an (N, H, W) or (N, H, W, 3) image stack, got "
-        f"shape {images.shape}"
-    )
-
-
-#: Current parallel compression job: ``(images, codec)``.  Set by the
-#: parent immediately before the worker pool forks (children inherit it
-#: copy-on-write, so image stacks are never pickled) and cleared when
-#: the shards are collected.
-_PARALLEL_JOB = None
-
-
-def _compress_chunk(bounds: tuple) -> "list[CompressionResult]":
-    """Worker task: compress one ``[start, stop)`` shard of the job."""
-    start, stop = bounds
-    images, codec = _PARALLEL_JOB
-    return codec.compress_batch(images[start:stop])
-
-
-def _parallel_chunk_size(count: int, workers: int, image_shape: tuple) -> int:
-    """Images per parallel shard: ~2 shards per worker, memory-capped.
-
-    Two shards per worker keeps the pool busy when shards finish
-    unevenly without multiplying per-shard result pickling; the
-    :func:`_batch_chunk_size` cap bounds each worker's peak float64
-    intermediates exactly like the serial path.
-    """
-    per_worker = max(1, -(-count // (workers * 2)))
-    return min(per_worker, _batch_chunk_size(image_shape))
-
-
-def _iter_compressed(images: np.ndarray, codec, workers: int):
-    """Yield per-image results for a stack, optionally sharded over a pool.
-
-    The shared-table batch path makes per-image byte streams independent
-    of their neighbours (the DC predictor resets at image boundaries),
-    so compressing ``[start, stop)`` shards in worker processes and
-    reassembling the results in order is byte-identical to one serial
-    ``compress_batch`` over the whole stack — which is exactly what
-    ``workers=1`` runs.  Shard results stream through a bounded window
-    (:func:`~repro.runtime.executor.imap_tasks`), so a consumer that
-    aggregates incrementally never holds more than a few shards' worth
-    of reconstructions at once.
-    """
-    global _PARALLEL_JOB
-    count = int(images.shape[0])
-    if count == 0:
-        # Explicit empty contract: no images, no results, no pool.
-        return
-    workers = effective_workers(workers, task_count=count)
-    shards = chunk_bounds(
-        count, _parallel_chunk_size(count, workers, images.shape[1:])
-    )
-    if workers <= 1 or count <= 1 or len(shards) <= 1:
-        yield from codec.compress_batch(images)
-        return
-    _PARALLEL_JOB = (images, codec)
-    try:
-        for chunk in imap_tasks(_compress_chunk, shards, workers=workers):
-            yield from chunk
-    finally:
-        _PARALLEL_JOB = None
-
-
 def compress_batch(
     images: np.ndarray,
     luma_table: QuantizationTable,
-    chroma_table: QuantizationTable = None,
+    chroma_table: Optional[QuantizationTable] = None,
     optimize_huffman: bool = False,
     workers: int = 1,
 ) -> "list[CompressionResult]":
@@ -223,16 +106,16 @@ def compress_batch(
     results in order; the output is identical to ``workers=1``.
     """
     images = np.asarray(images, dtype=np.float64)
-    codec = _codec_for_stack(
-        images, luma_table, chroma_table, optimize_huffman
+    codec = codec_for_stack(
+        images, luma_table, chroma_table, optimize_huffman=optimize_huffman
     )
-    return list(_iter_compressed(images, codec, workers))
+    return compress_stack(images, codec, workers)
 
 
 def compress_dataset_with_table(
     dataset: Dataset,
     luma_table: QuantizationTable,
-    chroma_table: QuantizationTable = None,
+    chroma_table: Optional[QuantizationTable] = None,
     method: str = "custom",
     optimize_huffman: bool = False,
     workers: int = 1,
@@ -256,33 +139,16 @@ def compress_dataset_with_table(
     payload = 0
     header = 0
     psnr_values = []
-    if images.ndim == 4:
-        # Colour batches share the vectorized per-plane entropy path.
-        codec = ColorJpegCodec(
-            luma_table,
-            chroma_table if chroma_table is not None else luma_table,
-            optimize_huffman=optimize_huffman,
-        )
-    else:
-        codec = GrayscaleJpegCodec(
-            luma_table, optimize_huffman=optimize_huffman
-        )
-    if effective_workers(workers, task_count=images.shape[0]) > 1:
-        # Streams shard results through a bounded window, so the
-        # parallel path keeps the same peak-memory character as the
-        # serial chunked loop below (plus the reassembled output array).
-        results = _iter_compressed(images, codec, workers)
-    else:
-        # Chunking bounds peak memory (the batch pipeline holds several
-        # chunk-sized float64 intermediates at once) while keeping the
-        # vectorization win; the chunk shrinks for large images so peak
-        # memory is bounded in bytes, not image count.
-        chunk = _batch_chunk_size(images.shape[1:])
-        results = (
-            result
-            for start in range(0, images.shape[0], chunk)
-            for result in codec.compress_batch(images[start:start + chunk])
-        )
+    codec = codec_for_stack(
+        images, luma_table, chroma_table,
+        optimize_huffman=optimize_huffman, strict=False,
+    )
+    # One shared loop for both modes: serially the stack streams through
+    # memory-bounded chunks, with workers > 1 through pool shards whose
+    # results arrive in order through a bounded window — either way this
+    # consumer aggregates incrementally with the same peak-memory
+    # character (plus the reassembled output array).
+    results = iter_compressed_stack(images, codec, workers)
     for index, result in enumerate(results):
         reconstructed[index] = result.reconstructed
         payload += result.payload_bytes
@@ -301,7 +167,14 @@ def compress_dataset_with_table(
 
 
 class DatasetCompressor:
-    """Interface of every dataset-level compressor."""
+    """Interface of every dataset-level compressor.
+
+    Besides the dataset entry point (:meth:`compress_dataset`), every
+    compressor implements the :class:`repro.core.codec.Codec` protocol —
+    per-image ``encode`` / ``decode`` / ``compress``, stack-level
+    ``compress_batch``, ``header_bytes`` and a JSON-able ``spec()`` —
+    by building the modality-appropriate JPEG codec from its tables.
+    """
 
     #: Human-readable name used in experiment tables.
     name = "abstract"
@@ -313,6 +186,69 @@ class DatasetCompressor:
     def chroma_table(self) -> QuantizationTable:
         """The chrominance quantization table (defaults to the luma table)."""
         return self.luma_table()
+
+    def optimize_huffman(self) -> bool:
+        """Whether this compressor codes with per-image optimized tables.
+
+        The base compressors use the Annex K standard tables; wrappers
+        around a configured pipeline override this so their per-image
+        codec path produces exactly the streams their ``spec()``
+        describes.
+        """
+        return False
+
+    def spec(self) -> dict:
+        """JSON-able description; rebuilds this compressor via the registry."""
+        raise NotImplementedError
+
+    def codec_for(self, image: np.ndarray):
+        """The underlying JPEG codec for one image.
+
+        Accepts a single ``(H, W)`` grayscale or ``(H, W, 3)`` RGB
+        image (:func:`repro.core.codec.codec_for_image`); stacks go
+        through :meth:`compress_batch`, whose shape validation matches
+        :func:`repro.core.codec.codec_for_stack`.
+        """
+        return codec_for_image(
+            image, self.luma_table(), self.chroma_table(),
+            optimize_huffman=self.optimize_huffman(),
+        )
+
+    def encode(self, image: np.ndarray):
+        """Entropy-code one image with this compressor's tables."""
+        return self.codec_for(image).encode(np.asarray(image, dtype=np.float64))
+
+    def decode(self, encoded) -> np.ndarray:
+        """Decode a stream previously produced by :meth:`encode`."""
+        return decode_encoded(encoded, self.luma_table(), self.chroma_table())
+
+    def compress(self, image: np.ndarray) -> CompressionResult:
+        """Round-trip one image and report sizes and the reconstruction."""
+        return self.codec_for(image).compress(
+            np.asarray(image, dtype=np.float64)
+        )
+
+    def compress_batch(
+        self, images: np.ndarray, workers: int = 1
+    ) -> "list[CompressionResult]":
+        """Round-trip a stack of same-shaped images with shared tables.
+
+        Stack shapes follow the module-level :func:`compress_batch`
+        contract — ``(N, H, W)`` grayscale or ``(N, H, W, 3)`` colour,
+        with the ambiguous ``(N, H, 3)`` case rejected explicitly.
+        """
+        images = np.asarray(images, dtype=np.float64)
+        codec = codec_for_stack(
+            images, self.luma_table(), self.chroma_table(),
+            optimize_huffman=self.optimize_huffman(),
+        )
+        return compress_stack(images, codec, workers)
+
+    def header_bytes(self, color: bool = False) -> int:
+        """Marker-segment overhead per image for the given modality."""
+        return modality_header_bytes(
+            self.luma_table(), self.chroma_table(), color=color
+        )
 
     def compress_dataset(
         self, dataset: Dataset, optimize_huffman: bool = False,
@@ -342,6 +278,9 @@ class JpegCompressor(DatasetCompressor):
         self.quality = int(quality)
         self.name = f"JPEG (QF={self.quality})"
 
+    def spec(self) -> dict:
+        return {"codec": "jpeg", "quality": self.quality}
+
     def luma_table(self) -> QuantizationTable:
         return QuantizationTable.standard_luminance(self.quality)
 
@@ -366,6 +305,13 @@ class RemoveHighFrequencyCompressor(DatasetCompressor):
         self.removed_components = int(removed_components)
         self.quality = int(quality)
         self.name = f"RM-HF{self.removed_components}"
+
+    def spec(self) -> dict:
+        return {
+            "codec": "rm-hf",
+            "removed_components": self.removed_components,
+            "quality": self.quality,
+        }
 
     def _remove_top_bands(self, base_table: np.ndarray) -> QuantizationTable:
         values = np.array(base_table, dtype=np.float64)
@@ -397,8 +343,16 @@ class SameQCompressor(DatasetCompressor):
         self.step = float(step)
         self.name = f"SAME-Q{self.step:g}"
 
+    def spec(self) -> dict:
+        return {"codec": "same-q", "step": self.step}
+
     def luma_table(self) -> QuantizationTable:
         return QuantizationTable.flat(self.step, name=f"same-q{self.step:g}")
 
     def chroma_table(self) -> QuantizationTable:
         return self.luma_table()
+
+
+register_builtin_codec("jpeg", JpegCompressor)
+register_builtin_codec("rm-hf", RemoveHighFrequencyCompressor)
+register_builtin_codec("same-q", SameQCompressor)

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
+from typing import Optional
 
 from repro.analysis.bands import LF_BAND_COUNT, MF_BAND_COUNT
 
@@ -50,11 +51,20 @@ class DeepNJpegConfig:
     q2: float = 20.0
     q_min: float = 5.0
     k3: float = 3.0
-    lf_intercept: float = None
+    lf_intercept: Optional[float] = None
     sampling_interval: int = 4
-    max_samples_per_class: int = None
+    max_samples_per_class: Optional[int] = None
     chroma_scale: float = 1.5
     optimize_huffman: bool = False
+
+    def to_json(self) -> dict:
+        """JSON-able payload round-tripping the configuration exactly."""
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "DeepNJpegConfig":
+        """Rebuild a configuration from a :meth:`to_json` payload."""
+        return cls(**payload)
 
     def __post_init__(self) -> None:
         if self.lf_band_count < 1 or self.mf_band_count < 1:

@@ -141,6 +141,20 @@ class PiecewiseLinearMapping:
         steps = self.quantization_step(statistics.std)
         return QuantizationTable(steps, name="deepn-jpeg")
 
+    def to_json(self) -> dict:
+        """JSON-able payload round-tripping the mapping exactly."""
+        return {
+            "a": self.a, "b": self.b, "c": self.c,
+            "k1": self.k1, "k2": self.k2, "k3": self.k3,
+            "t1": self.t1, "t2": self.t2,
+            "q_min": self.q_min, "q_max": self.q_max,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "PiecewiseLinearMapping":
+        """Rebuild a mapping from a :meth:`to_json` payload."""
+        return cls(**{key: float(value) for key, value in payload.items()})
+
     def with_k3(self, k3: float) -> "PiecewiseLinearMapping":
         """A copy with a different LF slope (used by the Fig. 6 sweep)."""
         return PiecewiseLinearMapping(

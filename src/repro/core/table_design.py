@@ -11,6 +11,7 @@ quantization step.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -46,11 +47,38 @@ class TableDesignResult:
     statistics: FrequencyStatistics
     segmentation: BandSegmentation
 
+    def to_json(self) -> dict:
+        """JSON-able payload round-tripping the whole design exactly.
+
+        Every component serializes its defining state (integer table
+        steps, ``repr``-exact floats, BITS/HUFFVAL-style identities), so
+        a design saved on one machine re-compresses bit-identically on
+        another.
+        """
+        return {
+            "table": self.table.to_json(),
+            "chroma_table": self.chroma_table.to_json(),
+            "mapping": self.mapping.to_json(),
+            "statistics": self.statistics.to_json(),
+            "segmentation": self.segmentation.to_json(),
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "TableDesignResult":
+        """Rebuild a design from a :meth:`to_json` payload."""
+        return cls(
+            table=QuantizationTable.from_json(payload["table"]),
+            chroma_table=QuantizationTable.from_json(payload["chroma_table"]),
+            mapping=PiecewiseLinearMapping.from_json(payload["mapping"]),
+            statistics=FrequencyStatistics.from_json(payload["statistics"]),
+            segmentation=BandSegmentation.from_json(payload["segmentation"]),
+        )
+
 
 class DeepNJpegTableDesigner:
     """Designs the DeepN-JPEG quantization table for a dataset's statistics."""
 
-    def __init__(self, config: DeepNJpegConfig = None) -> None:
+    def __init__(self, config: Optional[DeepNJpegConfig] = None) -> None:
         self.config = config if config is not None else DeepNJpegConfig()
 
     def thresholds_from_statistics(

@@ -29,9 +29,12 @@ from repro.experiments.common import (
     make_splits,
     train_classifier,
 )
+from repro.experiments.store import ArtifactStore, SweepCache
 
 __all__ = [
+    "ArtifactStore",
     "ExperimentConfig",
+    "SweepCache",
     "TrainedClassifier",
     "format_table",
     "make_splits",

@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import Optional
 
 import numpy as np
 
@@ -135,7 +136,7 @@ class TrainedClassifier:
     model: Sequential
     trainer: Trainer
     history: TrainingHistory
-    config: ExperimentConfig = field(repr=False, default=None)
+    config: Optional[ExperimentConfig] = field(repr=False, default=None)
 
     def accuracy_on(self, dataset) -> float:
         """Top-1 accuracy on a Dataset or CompressedDataset."""
@@ -156,9 +157,9 @@ class TrainedClassifier:
 def train_classifier(
     train_dataset,
     config: ExperimentConfig,
-    model_name: str = None,
+    model_name: Optional[str] = None,
     validation_dataset=None,
-    epochs: int = None,
+    epochs: Optional[int] = None,
 ) -> TrainedClassifier:
     """Train a classifier of ``model_name`` on ``train_dataset``.
 

@@ -11,9 +11,15 @@ experiments then consume.
 
 from __future__ import annotations
 
+from typing import Optional
+
+from repro.core.codec import build_codec
 from repro.core.config import DeepNJpegConfig
+from repro.core.pipeline import DeepNJpeg
 from repro.experiments import fig5_band_sensitivity
 from repro.experiments.common import ExperimentConfig, TrainedClassifier
+from repro.experiments.store import ArtifactStore, SweepCache
+from repro.runtime.executor import CACHE_MISS
 
 
 #: Default guard band applied to the Fig. 5 anchors.  The sweeps quantize one
@@ -36,6 +42,7 @@ def derive_design_config(
     classifier: TrainedClassifier = None,
     safety_factor: float = DEFAULT_ANCHOR_SAFETY_FACTOR,
     q_min_ceiling: float = DEFAULT_Q_MIN_CEILING,
+    store: Optional[ArtifactStore] = None,
 ) -> DeepNJpegConfig:
     """Build the dataset-specific DeepN-JPEG configuration.
 
@@ -60,11 +67,18 @@ def derive_design_config(
         Fig. 5 critical points exactly as the paper does.
     q_min_ceiling:
         Upper bound on the derived LF floor.
+    store:
+        Optional :class:`~repro.experiments.store.ArtifactStore` the
+        embedded Fig. 5 sweeps resume from (ignored when ``anchors``
+        are supplied; bypassed when a ``classifier`` is, since its
+        state is not derivable from the config).
     """
     if safety_factor <= 0 or safety_factor > 1:
         raise ValueError("safety_factor must be in (0, 1]")
     if anchors is None:
-        fig5_result = fig5_band_sensitivity.run(config, classifier=classifier)
+        fig5_result = fig5_band_sensitivity.run(
+            config, classifier=classifier, store=store
+        )
         anchors = fig5_result.derived_anchors()
     missing = {"q1", "q2", "q_min"} - set(anchors)
     if missing:
@@ -80,3 +94,40 @@ def derive_design_config(
         k3=float(k3),
         sampling_interval=config.sampling_interval,
     )
+
+
+def fitted_pipeline(
+    config: ExperimentConfig,
+    deepn_config: Optional[DeepNJpegConfig],
+    dataset_provider,
+    store: Optional[ArtifactStore] = None,
+    fit_on: str = "train",
+) -> DeepNJpeg:
+    """A fitted :class:`~repro.core.pipeline.DeepNJpeg`, fit cached in the store.
+
+    The fitted :class:`~repro.core.table_design.TableDesignResult` is a
+    deterministic function of ``(config, deepn_config, fit_on)``, so it
+    is itself a store artifact: on a warm store the pipeline is rebuilt
+    from the cached design through the codec registry — no dataset
+    generation and no Algorithm-1 analysis pass.  ``dataset_provider``
+    is only called on a cold fit (pass a closure so a fully warm figure
+    never materialises its datasets); ``fit_on`` names which split the
+    provider returns, keeping train- and test-fitted designs at
+    distinct addresses.
+    """
+    if deepn_config is None:
+        deepn_config = DeepNJpegConfig()
+    cache = SweepCache(store, "deepn-fit", config)
+    cell = {
+        "cell": "design",
+        "deepn_config": deepn_config.to_json(),
+        "fit_on": fit_on,
+    }
+    payload = cache.lookup(cell)
+    if payload is not CACHE_MISS:
+        return build_codec(
+            "deepn-jpeg", config=deepn_config.to_json(), design=payload
+        )
+    pipeline = DeepNJpeg(deepn_config).fit(dataset_provider())
+    cache.record(cell, pipeline.design.to_json())
+    return pipeline

@@ -9,7 +9,8 @@ CASE-2 accuracy over training epochs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from typing import Optional
 
 from repro.core.baselines import JpegCompressor
 from repro.experiments.common import (
@@ -19,7 +20,8 @@ from repro.experiments.common import (
     relative_compression_rate,
     train_classifier,
 )
-from repro.runtime.executor import TaskState, map_tasks
+from repro.experiments.store import ArtifactStore, SweepCache, all_cached
+from repro.runtime.executor import TaskState, map_tasks_resumable
 
 #: Quality factors evaluated in the figure.
 FIG2_QUALITY_FACTORS = (100, 50, 20)
@@ -133,24 +135,57 @@ def _quality_cell(task: tuple) -> Fig2Entry:
     )
 
 
+def _entry_from_payload(payload: dict) -> Fig2Entry:
+    payload = dict(payload)
+    payload["case2_accuracy_per_epoch"] = tuple(
+        payload["case2_accuracy_per_epoch"]
+    )
+    return Fig2Entry(**payload)
+
+
 def run(
     config: ExperimentConfig = None,
     quality_factors: "tuple[int, ...]" = FIG2_QUALITY_FACTORS,
+    store: Optional[ArtifactStore] = None,
 ) -> Fig2Result:
     """Reproduce Fig. 2 at the given experiment scale.
 
     With ``config.workers > 1`` each quality factor (one CASE-1
     evaluation plus one CASE-2 training run) is an independent pool
     task; results are identical to the serial run.
+
+    With ``store`` each quality cell resumes from the content-addressed
+    artifact store; a fully warm store returns without compressing any
+    dataset or training any classifier.
     """
     config = config if config is not None else ExperimentConfig.small()
-    key = (config.task_key(), tuple(quality_factors))
+    quality_factors = tuple(quality_factors)
+    key = (config.task_key(), quality_factors)
+    cells = [
+        {
+            "quality": int(quality),
+            "quality_factors": list(quality_factors),
+            "codec": JpegCompressor(quality).spec(),
+        }
+        for quality in quality_factors
+    ]
+    cache = SweepCache(
+        store, "fig2", config,
+        from_payload=_entry_from_payload, to_payload=asdict,
+    )
+    cached = cache.lookup_many(cells)
+    result = Fig2Result()
+    if all_cached(cached):
+        result.entries.extend(cached)
+        return result
     _STATE.get(key)
     tasks = [(key, quality) for quality in quality_factors]
-    result = Fig2Result()
     try:
         result.entries.extend(
-            map_tasks(_quality_cell, tasks, workers=config.workers)
+            map_tasks_resumable(
+                _quality_cell, tasks, cached,
+                workers=config.workers, on_result=cache.recorder(cells),
+            )
         )
     finally:
         # Release the per-QF compressed datasets and the CASE-1 model.

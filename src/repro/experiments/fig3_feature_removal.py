@@ -10,7 +10,8 @@ image distortion (PSNR) change as more components are removed.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from typing import Optional
 
 import numpy as np
 
@@ -21,6 +22,7 @@ from repro.experiments.common import (
     make_splits,
     train_classifier,
 )
+from repro.experiments.store import ArtifactStore, SweepCache, all_cached
 from repro.jpeg.blocks import (
     assemble_blocks,
     inverse_level_shift,
@@ -30,7 +32,7 @@ from repro.jpeg.blocks import (
 from repro.jpeg.dct import block_dct2d, block_idct2d
 from repro.jpeg.metrics import psnr
 from repro.jpeg.zigzag import inverse_zigzag, zigzag
-from repro.runtime.executor import TaskState, map_tasks
+from repro.runtime.executor import TaskState, map_tasks_resumable
 
 #: Numbers of removed components evaluated (the paper's example removes 6).
 FIG3_REMOVED_COMPONENTS = (0, 3, 6, 9, 12)
@@ -181,20 +183,44 @@ def run(
     config: ExperimentConfig = None,
     removed_components: "tuple[int, ...]" = FIG3_REMOVED_COMPONENTS,
     high_frequency_classes: "tuple[str, ...]" = ("textured_blob",),
+    store: Optional[ArtifactStore] = None,
 ) -> Fig3Result:
     """Reproduce the Fig. 3 feature-degradation demonstration.
 
     With ``config.workers > 1`` each removed-component count is an
     independent pool task; results are identical to the serial run.
+
+    With ``store`` each removal cell resumes from the content-addressed
+    artifact store; a fully warm store returns without training the
+    classifier or degrading any images.
     """
     config = config if config is not None else ExperimentConfig.small()
     key = (config.task_key(), tuple(high_frequency_classes))
+    cells = [
+        {
+            "removed_components": int(count),
+            "high_frequency_classes": list(high_frequency_classes),
+        }
+        for count in removed_components
+    ]
+    cache = SweepCache(
+        store, "fig3", config,
+        from_payload=lambda payload: Fig3Entry(**payload),
+        to_payload=asdict,
+    )
+    cached = cache.lookup_many(cells)
+    result = Fig3Result(high_frequency_classes=list(high_frequency_classes))
+    if all_cached(cached):
+        result.entries.extend(cached)
+        return result
     _STATE.get(key)
     tasks = [(key, count) for count in removed_components]
-    result = Fig3Result(high_frequency_classes=list(high_frequency_classes))
     try:
         result.entries.extend(
-            map_tasks(_removal_cell, tasks, workers=config.workers)
+            map_tasks_resumable(
+                _removal_cell, tasks, cached,
+                workers=config.workers, on_result=cache.recorder(cells),
+            )
         )
     finally:
         # Release the datasets and classifier after the sweep.

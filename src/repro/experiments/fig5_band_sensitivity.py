@@ -12,7 +12,8 @@ Fig. 6/7/8 experiments feed into the piece-wise linear mapping.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from typing import Optional
 
 import numpy as np
 
@@ -30,8 +31,13 @@ from repro.experiments.common import (
     make_splits,
     train_classifier,
 )
+from repro.experiments.store import ArtifactStore, SweepCache, all_cached
 from repro.jpeg.quantization import QuantizationTable
-from repro.runtime.executor import TaskState, map_tasks
+from repro.runtime.executor import CACHE_MISS, TaskState, map_tasks_resumable
+
+#: The two band-segmentation methods the figure contrasts (the order of
+#: the sweep grid and of the state's ``segmentations`` dict).
+SEGMENTATION_METHODS = ("magnitude", "position")
 
 #: Quantization steps swept per group (the paper sweeps to 40/60/80; the
 #: synthetic dataset tolerates larger steps, so the sweeps extend further to
@@ -203,6 +209,7 @@ def run(
     config: ExperimentConfig = None,
     step_sweeps: dict = None,
     classifier: TrainedClassifier = None,
+    store: Optional[ArtifactStore] = None,
 ) -> Fig5Result:
     """Reproduce the Fig. 5 per-group sensitivity sweeps.
 
@@ -210,9 +217,35 @@ def run(
     sharded over a process pool; every grid point is an independent
     task, so the entries are identical to the serial run in value and
     order.
+
+    With ``store`` every grid cell and the baseline accuracy resume
+    from the content-addressed artifact store: completed cells load
+    instead of recomputing, and a fully warm store returns without
+    rebuilding the datasets, retraining the classifier or recompressing
+    anything.  A caller-supplied ``classifier`` is not derivable from
+    the config, so the store is bypassed in that case.
     """
     config = config if config is not None else ExperimentConfig.small()
     step_sweeps = step_sweeps if step_sweeps is not None else DEFAULT_STEP_SWEEPS
+    effective_store = store if classifier is None else None
+    cells = [
+        {"method": method, "group": group, "step": float(step)}
+        for method in SEGMENTATION_METHODS
+        for group, steps in step_sweeps.items()
+        for step in steps
+    ]
+    cache = SweepCache(
+        effective_store, "fig5", config,
+        from_payload=lambda payload: Fig5Entry(**payload),
+        to_payload=asdict,
+    )
+    scalars = SweepCache(effective_store, "fig5", config)
+    cached = cache.lookup_many(cells)
+    baseline_accuracy = scalars.lookup({"cell": "baseline_accuracy"})
+    if baseline_accuracy is not CACHE_MISS and all_cached(cached):
+        result = Fig5Result(baseline_accuracy=baseline_accuracy)
+        result.entries.extend(cached)
+        return result
     if classifier is None:
         key = config.task_key()
         state = _STATE.get(key)
@@ -224,16 +257,17 @@ def run(
         train_dataset, test_dataset = make_splits(config)
         state = _finish_state(config, train_dataset, test_dataset, classifier)
         _STATE.seed(key, state)
+    scalars.record({"cell": "baseline_accuracy"}, state["baseline_accuracy"])
     tasks = [
-        (key, method, group, step)
-        for method in state["segmentations"]
-        for group, steps in step_sweeps.items()
-        for step in steps
+        (key, cell["method"], cell["group"], cell["step"]) for cell in cells
     ]
     result = Fig5Result(baseline_accuracy=state["baseline_accuracy"])
     try:
         result.entries.extend(
-            map_tasks(_sweep_cell, tasks, workers=config.workers)
+            map_tasks_resumable(
+                _sweep_cell, tasks, cached,
+                workers=config.workers, on_result=cache.recorder(cells),
+            )
         )
     finally:
         # Release the sweep's datasets/classifier once the grid is done;

@@ -9,7 +9,8 @@ relative to the QF=100 "Original" dataset.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from typing import Optional
 
 from repro.core.baselines import JpegCompressor
 from repro.core.config import DeepNJpegConfig
@@ -22,7 +23,8 @@ from repro.experiments.common import (
     train_classifier,
 )
 from repro.experiments.design_flow import derive_design_config
-from repro.runtime.executor import TaskState, map_tasks
+from repro.experiments.store import ArtifactStore, SweepCache, all_cached
+from repro.runtime.executor import CACHE_MISS, TaskState, map_tasks_resumable
 
 #: The k3 values swept in the paper's Fig. 6.
 FIG6_K3_VALUES = (1.0, 2.0, 3.0, 4.0, 5.0)
@@ -126,30 +128,57 @@ def run(
     config: ExperimentConfig = None,
     k3_values: "tuple[float, ...]" = FIG6_K3_VALUES,
     anchors: dict = None,
+    store: Optional[ArtifactStore] = None,
 ) -> Fig6Result:
     """Reproduce the Fig. 6 k3 sweep.
 
     With ``config.workers > 1`` each k3 value (table design, dataset
     compression, classifier training, evaluation) is an independent
     pool task; results are identical to the serial run.
+
+    With ``store`` each k3 cell — addressed by the base design it
+    perturbs — and the baseline accuracy resume from the
+    content-addressed artifact store; a fully warm store returns
+    without compressing or training anything.
     """
     config = config if config is not None else ExperimentConfig.small()
     key = config.task_key()
+    base_design = derive_design_config(config, anchors=anchors, store=store)
+    cells = [
+        {"k3": float(k3), "design": base_design.to_json()}
+        for k3 in k3_values
+    ]
+    cache = SweepCache(
+        store, "fig6", config,
+        from_payload=lambda payload: Fig6Entry(**payload),
+        to_payload=asdict,
+    )
+    scalars = SweepCache(store, "fig6", config)
+    cached = cache.lookup_many(cells)
+    baseline_accuracy = scalars.lookup({"cell": "baseline_accuracy"})
+    if baseline_accuracy is not CACHE_MISS and all_cached(cached):
+        result = Fig6Result(baseline_accuracy=baseline_accuracy)
+        result.entries.extend(cached)
+        return result
     state = _STATE.get(key)
 
-    # Baseline: classifier trained and tested on the QF=100 dataset.
-    original_train = JpegCompressor(100).compress_dataset(
-        state["train_dataset"]
-    )
-    baseline = train_classifier(original_train, config)
-    baseline_accuracy = baseline.accuracy_on(state["original_test"])
+    if baseline_accuracy is CACHE_MISS:
+        # Baseline: classifier trained and tested on the QF=100 dataset.
+        original_train = JpegCompressor(100).compress_dataset(
+            state["train_dataset"]
+        )
+        baseline = train_classifier(original_train, config)
+        baseline_accuracy = baseline.accuracy_on(state["original_test"])
+        scalars.record({"cell": "baseline_accuracy"}, baseline_accuracy)
 
-    base_design = derive_design_config(config, anchors=anchors)
-    tasks = [(key, base_design, float(k3)) for k3 in k3_values]
+    tasks = [(key, base_design, cell["k3"]) for cell in cells]
     result = Fig6Result(baseline_accuracy=baseline_accuracy)
     try:
         result.entries.extend(
-            map_tasks(_k3_cell, tasks, workers=config.workers)
+            map_tasks_resumable(
+                _k3_cell, tasks, cached,
+                workers=config.workers, on_result=cache.recorder(cells),
+            )
         )
     finally:
         # Release the datasets and reference compression after the sweep.

@@ -12,6 +12,7 @@ compression rate is reported relative to "Original".
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.core.baselines import (
     DatasetCompressor,
@@ -26,8 +27,9 @@ from repro.experiments.common import (
     make_splits,
     train_classifier,
 )
-from repro.experiments.design_flow import derive_design_config
-from repro.runtime.executor import TaskState, map_tasks
+from repro.experiments.design_flow import derive_design_config, fitted_pipeline
+from repro.experiments.store import ArtifactStore, SweepCache, all_cached
+from repro.runtime.executor import TaskState, map_tasks_resumable
 
 #: RM-HF and SAME-Q parameter sets evaluated in the paper's Fig. 7.
 FIG7_RMHF_COMPONENTS = (3, 6, 9)
@@ -143,6 +145,7 @@ def run(
     anchors: dict = None,
     rmhf_components: "tuple[int, ...]" = FIG7_RMHF_COMPONENTS,
     sameq_steps: "tuple[int, ...]" = FIG7_SAMEQ_STEPS,
+    store: Optional[ArtifactStore] = None,
 ) -> Fig7Result:
     """Reproduce the Fig. 7 comparison.
 
@@ -151,24 +154,42 @@ def run(
     first candidate (Original), so the ratios are assembled after the
     map from each task's absolute byte count — the identical numbers
     the serial loop produced in place.
+
+    With ``store`` every candidate cell — addressed by the candidate's
+    codec ``spec()``, which for DeepN-JPEG embeds the fitted tables —
+    resumes from the content-addressed artifact store, and the fitted
+    design itself is cached (:func:`fitted_pipeline`); a fully warm
+    store returns without generating datasets, fitting, compressing or
+    training anything.
     """
     config = config if config is not None else ExperimentConfig.small()
     key = config.task_key()
-    state = _STATE.get(key)
     if deepn_config is None:
-        deepn_config = derive_design_config(config, anchors=anchors)
-    deepn = DeepNJpeg(deepn_config).fit(state["train_dataset"])
+        deepn_config = derive_design_config(config, anchors=anchors, store=store)
+    deepn = fitted_pipeline(
+        config, deepn_config,
+        lambda: _STATE.get(key)["train_dataset"], store=store,
+    )
 
-    tasks = [
-        (key, compressor)
-        for compressor in candidate_compressors(
-            deepn, rmhf_components, sameq_steps
-        )
-    ]
+    compressors = candidate_compressors(deepn, rmhf_components, sameq_steps)
+    cells = [{"codec": compressor.spec()} for compressor in compressors]
+    cache = SweepCache(
+        store, "fig7", config, from_payload=tuple, to_payload=list
+    )
+    cached = cache.lookup_many(cells)
     try:
-        rows = map_tasks(_candidate_cell, tasks, workers=config.workers)
+        if all_cached(cached):
+            rows = cached
+        else:
+            _STATE.get(key)
+            tasks = [(key, compressor) for compressor in compressors]
+            rows = map_tasks_resumable(
+                _candidate_cell, tasks, cached,
+                workers=config.workers, on_result=cache.recorder(cells),
+            )
     finally:
-        # Release the datasets after the sweep.
+        # Release the datasets after the sweep (the memo may also have
+        # been populated by a cold fit above).
         _STATE.clear()
     result = Fig7Result()
     reference_bytes = rows[0][1] if rows else 0

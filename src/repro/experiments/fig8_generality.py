@@ -10,10 +10,10 @@ the aggressive QF-scaled JPEG does not, at a comparable compression rate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from typing import Optional
 
 from repro.core.baselines import JpegCompressor
-from repro.core.pipeline import DeepNJpeg
 from repro.experiments.common import (
     ExperimentConfig,
     format_table,
@@ -21,8 +21,9 @@ from repro.experiments.common import (
     relative_compression_rate,
     train_classifier,
 )
-from repro.experiments.design_flow import derive_design_config
-from repro.runtime.executor import TaskState, map_tasks
+from repro.experiments.design_flow import derive_design_config, fitted_pipeline
+from repro.experiments.store import ArtifactStore, SweepCache, all_cached
+from repro.runtime.executor import TaskState, map_tasks_resumable
 
 #: Models evaluated in the paper's Fig. 8.
 FIG8_MODELS = ("GoogLeNet", "VGG-16", "ResNet-34", "ResNet-50")
@@ -125,6 +126,7 @@ def run(
     deepn_config=None,
     anchors: dict = None,
     epochs: int = None,
+    store: Optional[ArtifactStore] = None,
 ) -> Fig8Result:
     """Reproduce the Fig. 8 generality comparison.
 
@@ -133,12 +135,25 @@ def run(
     independent pool task; the four candidate compressions are computed
     once up front and shared with the workers.  Results are identical
     to the serial run.
+
+    With ``store`` every (model, method) cell — addressed by the
+    candidate's codec ``spec()`` — resumes from the content-addressed
+    artifact store, and the fitted design itself is cached
+    (:func:`fitted_pipeline`); a fully warm store skips dataset
+    generation, the fit, the four candidate compressions and all
+    training runs.
     """
     config = config if config is not None else ExperimentConfig.small()
-    train_dataset, test_dataset = make_splits(config)
+    splits: "list" = []
+
+    def _train_dataset():
+        if not splits:
+            splits.extend(make_splits(config))
+        return splits[0]
+
     if deepn_config is None:
-        deepn_config = derive_design_config(config, anchors=anchors)
-    deepn = DeepNJpeg(deepn_config).fit(train_dataset)
+        deepn_config = derive_design_config(config, anchors=anchors, store=store)
+    deepn = fitted_pipeline(config, deepn_config, _train_dataset, store=store)
 
     candidates = {
         "Original": JpegCompressor(100),
@@ -146,6 +161,30 @@ def run(
         "JPEG (QF=80)": JpegCompressor(80),
         "JPEG (QF=50)": JpegCompressor(50),
     }
+    methods = [method for method in FIG8_METHODS if method in candidates]
+    cells = [
+        {
+            "model": model_name,
+            "method": method,
+            "epochs": epochs,
+            "codec": candidates[method].spec(),
+        }
+        for model_name in model_names
+        for method in methods
+    ]
+    cache = SweepCache(
+        store, "fig8", config,
+        from_payload=lambda payload: Fig8Entry(**payload),
+        to_payload=asdict,
+    )
+    cached = cache.lookup_many(cells)
+    result = Fig8Result()
+    if all_cached(cached):
+        result.entries.extend(cached)
+        return result
+
+    train_dataset = _train_dataset()
+    test_dataset = splits[1]
     compressed = {}
     for method, compressor in candidates.items():
         compressed[method] = (
@@ -155,16 +194,13 @@ def run(
 
     key = (config.task_key(), id(deepn))
     _STATE.seed(key, {"config": config.task_key(), "compressed": compressed})
-    tasks = [
-        (key, model_name, method, epochs)
-        for model_name in model_names
-        for method in FIG8_METHODS
-        if method in compressed
-    ]
-    result = Fig8Result()
+    tasks = [(key, cell["model"], cell["method"], epochs) for cell in cells]
     try:
         result.entries.extend(
-            map_tasks(_training_cell, tasks, workers=config.workers)
+            map_tasks_resumable(
+                _training_cell, tasks, cached,
+                workers=config.workers, on_result=cache.recorder(cells),
+            )
         )
     finally:
         # Release all eight compressed train/test datasets after the grid.

@@ -1,0 +1,174 @@
+"""Content-addressed artifact store for the experiment sweeps.
+
+Every ``fig*`` experiment writes its grid-cell results through an
+:class:`ArtifactStore` when one is supplied: each cell is keyed on the
+experiment's :meth:`~repro.experiments.common.ExperimentConfig.task_key`
+plus the cell's own identity — including the relevant codec ``spec()``
+where a compressor is involved, so a cell produced by a *fitted*
+DeepN-JPEG artifact is addressed by the fitted tables themselves, not
+by which process happened to fit them.  Re-running a sweep with the
+same configuration (any worker count) resumes from the store: completed
+cells load instead of recomputing, and a fully warm store skips the
+heavy shared state (dataset compression, classifier training) entirely.
+
+Keys are SHA-256 digests of canonical JSON; values are JSON payloads
+written atomically (temp file + rename), so concurrent sweeps sharing a
+store directory at worst duplicate work, never corrupt it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from typing import Optional
+
+from repro.runtime.executor import CACHE_MISS
+
+
+def canonical_json(payload) -> str:
+    """Deterministic JSON: sorted keys, no whitespace."""
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+
+
+def all_cached(cached: list) -> bool:
+    """True when a sweep's every lookup hit (non-empty sweeps only).
+
+    The uniform warm-store early-return condition of the ``fig*``
+    modules: an empty cell list never short-circuits.
+    """
+    return bool(cached) and all(value is not CACHE_MISS for value in cached)
+
+
+def config_payload(config) -> dict:
+    """The JSON identity of an experiment configuration.
+
+    Uses :meth:`~repro.experiments.common.ExperimentConfig.task_key` so
+    the ``workers`` knob — which never influences results — never
+    influences the address either.
+    """
+    return dataclasses.asdict(config.task_key())
+
+
+class ArtifactStore:
+    """A directory of content-addressed JSON artifacts.
+
+    Artifacts live under ``root/<first two hex digits>/<digest>.json``.
+    ``hits`` / ``misses`` count lookups since construction, which is how
+    the resume tests assert that a warm second run recomputed nothing.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def key(self, payload: dict) -> str:
+        """The content address (SHA-256 hex digest) of a key payload."""
+        return hashlib.sha256(
+            canonical_json(payload).encode("utf-8")
+        ).hexdigest()
+
+    def _path(self, key: str) -> str:
+        return os.path.join(self.root, key[:2], f"{key}.json")
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self._path(key))
+
+    def get(self, key: str):
+        """The stored payload for ``key``, or ``None`` (counted as a miss)."""
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                value = json.load(handle)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return value
+
+    def put(self, key: str, payload) -> None:
+        """Atomically persist ``payload`` (any JSON-able value) at ``key``."""
+        path = self._path(key)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        temporary = f"{path}.{os.getpid()}.tmp"
+        with open(temporary, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+            handle.write("\n")
+        os.replace(temporary, path)
+
+    def __len__(self) -> int:
+        count = 0
+        for _, _, files in os.walk(self.root):
+            count += sum(1 for name in files if name.endswith(".json"))
+        return count
+
+
+class SweepCache:
+    """Binds an :class:`ArtifactStore` to one figure sweep.
+
+    A figure constructs one ``SweepCache(store, figure, config)`` and
+    addresses each grid cell by a small JSON-able ``cell`` payload; the
+    cache composes ``{figure, config, cell}`` into the content address.
+    ``from_payload`` / ``to_payload`` translate between the figure's
+    entry objects and their stored JSON form (identity by default).
+
+    With ``store=None`` every lookup reports :data:`CACHE_MISS` and
+    writes are dropped, so figures call the cache unconditionally.
+    """
+
+    def __init__(
+        self,
+        store: Optional[ArtifactStore],
+        figure: str,
+        config,
+        from_payload=None,
+        to_payload=None,
+    ) -> None:
+        self.store = store
+        self.figure = figure
+        self._config = config_payload(config)
+        self._from_payload = from_payload or (lambda payload: payload)
+        self._to_payload = to_payload or (lambda value: value)
+
+    def key(self, cell: dict) -> str:
+        return self.store.key(
+            {"figure": self.figure, "config": self._config, "cell": cell}
+        )
+
+    def lookup(self, cell: dict):
+        """The decoded cached entry for ``cell``, or :data:`CACHE_MISS`."""
+        if self.store is None:
+            return CACHE_MISS
+        payload = self.store.get(self.key(cell))
+        if payload is None:
+            return CACHE_MISS
+        # Entries are stored wrapped ({"value": ...}) so a legitimately
+        # null payload stays distinguishable from a missing artifact.
+        return self._from_payload(payload["value"])
+
+    def lookup_many(self, cells: "list[dict]") -> list:
+        """Decoded entries (or :data:`CACHE_MISS`) for every cell."""
+        return [self.lookup(cell) for cell in cells]
+
+    def record(self, cell: dict, value) -> None:
+        """Persist one freshly computed entry (no-op without a store)."""
+        if self.store is not None:
+            self.store.put(self.key(cell), {"value": self._to_payload(value)})
+
+    def recorder(self, cells: "list[dict]"):
+        """An ``on_result(index, value)`` callback over indexed cells.
+
+        The shape :func:`repro.runtime.executor.map_tasks_resumable`
+        expects: fresh results are persisted under their cell's address
+        as they arrive.
+        """
+
+        def on_result(index: int, value) -> None:
+            self.record(cells[index], value)
+
+        return on_result

@@ -25,7 +25,16 @@ Public entry points
 from repro.jpeg.codec import (
     ColorJpegCodec,
     CompressionResult,
+    EncodedChannel,
+    EncodedImage,
     GrayscaleJpegCodec,
+)
+from repro.jpeg.container import (
+    ContainerError,
+    decode_image_bytes,
+    pack_color_image,
+    pack_grayscale_image,
+    unpack_container,
 )
 from repro.jpeg.dct import block_dct2d, block_idct2d, dct2d, idct2d
 from repro.jpeg.metrics import mse, psnr
@@ -40,8 +49,15 @@ from repro.jpeg.zigzag import ZIGZAG_ORDER, inverse_zigzag, zigzag
 __all__ = [
     "ColorJpegCodec",
     "CompressionResult",
+    "ContainerError",
+    "EncodedChannel",
+    "EncodedImage",
     "GrayscaleJpegCodec",
     "QuantizationTable",
+    "decode_image_bytes",
+    "pack_color_image",
+    "pack_grayscale_image",
+    "unpack_container",
     "STANDARD_CHROMINANCE_TABLE",
     "STANDARD_LUMINANCE_TABLE",
     "ZIGZAG_ORDER",

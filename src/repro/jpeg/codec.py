@@ -29,6 +29,7 @@ entropy layer would return.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 
@@ -45,7 +46,7 @@ from repro.jpeg.bitstream import (
 from repro.jpeg.blocks import level_shift, partition_blocks_batch
 from repro.jpeg.dct import _DCT8, _DCT8_T
 from repro.jpeg.huffman import HuffmanTable
-from repro.jpeg.metrics import compression_ratio, psnr
+from repro.jpeg.metrics import CompressedSizeMixin, psnr
 from repro.jpeg.quantization import QuantizationTable
 from repro.jpeg.rle import (
     DC_SYMBOL_OFFSET,
@@ -73,7 +74,7 @@ _DHT_FIXED_BYTES = 2 + 2
 
 
 @dataclass(frozen=True)
-class CompressionResult:
+class CompressionResult(CompressedSizeMixin):
     """Outcome of compressing (and decompressing) one image.
 
     Attributes
@@ -86,27 +87,15 @@ class CompressionResult:
         Size of the uncompressed image (one byte per sample).
     reconstructed:
         The decoded image, same shape as the input, float64 in [0, 255].
+
+    ``total_bytes`` / ``compression_ratio`` / ``payload_compression_ratio``
+    come from :class:`~repro.jpeg.metrics.CompressedSizeMixin`.
     """
 
     payload_bytes: int
     header_bytes: int
     original_bytes: int
     reconstructed: np.ndarray
-
-    @property
-    def total_bytes(self) -> int:
-        """Compressed file size including headers."""
-        return self.payload_bytes + self.header_bytes
-
-    @property
-    def compression_ratio(self) -> float:
-        """Original size divided by total compressed size."""
-        return compression_ratio(self.original_bytes, self.total_bytes)
-
-    @property
-    def payload_compression_ratio(self) -> float:
-        """Original size divided by entropy-coded payload size only."""
-        return compression_ratio(self.original_bytes, self.payload_bytes)
 
     def psnr(self, original: np.ndarray) -> float:
         """PSNR of the reconstruction against ``original``."""
@@ -127,8 +116,23 @@ class EncodedChannel:
     grid_shape: tuple
     channel_shape: tuple
     block_count: int
-    dc_huffman: HuffmanTable = None
-    ac_huffman: HuffmanTable = None
+    dc_huffman: Optional[HuffmanTable] = None
+    ac_huffman: Optional[HuffmanTable] = None
+
+
+@dataclass
+class EncodedImage:
+    """Entropy-coded representation of one RGB image (three planes).
+
+    ``planes`` holds the Y, Cb, Cr :class:`EncodedChannel` streams in
+    that order (chroma planes at subsampled resolution when
+    ``subsample_chroma`` is set); ``image_shape`` is the original
+    ``(height, width)`` needed to invert the subsampling.
+    """
+
+    planes: "tuple[EncodedChannel, ...]"
+    image_shape: tuple
+    subsample_chroma: bool
 
 
 class _ChannelCoder:
@@ -574,6 +578,14 @@ class GrayscaleJpegCodec:
     def _optimized_coder(self, zz_blocks: np.ndarray) -> _ChannelCoder:
         return _optimized_channel_coder(self.table, zz_blocks)
 
+    def spec(self) -> dict:
+        """JSON-able description; rebuilds this codec via the registry."""
+        return {
+            "codec": "jpeg-grayscale",
+            "table": self.table.to_json(),
+            "optimize_huffman": self.optimize_huffman,
+        }
+
     def encode(self, image: np.ndarray) -> EncodedChannel:
         """Entropy-code a 2-D image; returns the encoded channel.
 
@@ -602,6 +614,18 @@ class GrayscaleJpegCodec:
         dc_table = encoded.dc_huffman or self._standard_dc
         ac_table = encoded.ac_huffman or self._standard_ac
         return _ChannelCoder(self.table, dc_table, ac_table).decode(encoded)
+
+    def encode_to_bytes(self, image: np.ndarray) -> bytes:
+        """Encode one image into a self-contained byte container.
+
+        The container embeds the quantization table (and, with
+        ``optimize_huffman``, the per-image Huffman tables), so
+        :func:`repro.jpeg.container.decode_image_bytes` inverts it with
+        no out-of-band state.
+        """
+        from repro.jpeg.container import pack_grayscale_image
+
+        return pack_grayscale_image(self.encode(image), self.table)
 
     def compress(self, image: np.ndarray) -> CompressionResult:
         """Round-trip one image and report sizes and the reconstruction.
@@ -687,7 +711,7 @@ class GrayscaleJpegCodec:
             )
         return results
 
-    def header_bytes(self, coder: _ChannelCoder = None) -> int:
+    def header_bytes(self, coder: "Optional[_ChannelCoder]" = None) -> int:
         """Marker-segment overhead of a single-component baseline file."""
         if coder is None:
             coder = self._standard_coder()
@@ -727,7 +751,7 @@ class ColorJpegCodec:
     def __init__(
         self,
         luma_table: QuantizationTable,
-        chroma_table: QuantizationTable = None,
+        chroma_table: Optional[QuantizationTable] = None,
         subsample_chroma: bool = True,
         optimize_huffman: bool = False,
     ) -> None:
@@ -753,6 +777,107 @@ class ColorJpegCodec:
             self._standard_header = self.header_bytes(self._plane_coders)
         return self._standard_header
 
+    def spec(self) -> dict:
+        """JSON-able description; rebuilds this codec via the registry."""
+        return {
+            "codec": "jpeg-color",
+            "luma_table": self.luma_table.to_json(),
+            "chroma_table": self.chroma_table.to_json(),
+            "subsample_chroma": self.subsample_chroma,
+            "optimize_huffman": self.optimize_huffman,
+        }
+
+    def _planes_of(self, image: np.ndarray) -> "list[np.ndarray]":
+        """The Y/Cb/Cr coding planes of one RGB image (subsampled chroma)."""
+        ycbcr = color_mod.rgb_to_ycbcr(image)
+        planes = [ycbcr[..., 0]]
+        if self.subsample_chroma:
+            planes.append(color_mod.subsample_420(ycbcr[..., 1]))
+            planes.append(color_mod.subsample_420(ycbcr[..., 2]))
+        else:
+            planes.append(ycbcr[..., 1])
+            planes.append(ycbcr[..., 2])
+        return planes
+
+    def _rgb_from_planes(
+        self, decoded_planes: "list[np.ndarray]", image_shape: tuple
+    ) -> np.ndarray:
+        """Invert :meth:`_planes_of` on decoded pixel planes."""
+        luma = decoded_planes[0]
+        if self.subsample_chroma:
+            cb = color_mod.upsample_420(decoded_planes[1], image_shape)
+            cr = color_mod.upsample_420(decoded_planes[2], image_shape)
+        else:
+            cb, cr = decoded_planes[1], decoded_planes[2]
+        return color_mod.ycbcr_to_rgb(np.stack([luma, cb, cr], axis=-1))
+
+    def encode(self, image: np.ndarray) -> EncodedImage:
+        """Entropy-code one RGB image into three per-plane byte streams.
+
+        With ``optimize_huffman`` each plane's per-image tables ride
+        along on its :class:`EncodedChannel` so :meth:`decode` can invert
+        the streams without out-of-band state.
+        """
+        image = _require_rgb(image)
+        planes = self._planes_of(image)
+        encoded_planes = []
+        for plane, coder in zip(planes, self._plane_coders):
+            zz_blocks, grid_shape = coder.quantized_blocks(plane)
+            if self.optimize_huffman:
+                coder = _optimized_channel_coder(coder.table, zz_blocks)
+            encoded_planes.append(
+                EncodedChannel(
+                    data=coder.encode_quantized(zz_blocks),
+                    grid_shape=grid_shape,
+                    channel_shape=(plane.shape[0], plane.shape[1]),
+                    block_count=zz_blocks.shape[0],
+                    dc_huffman=(
+                        coder.dc_huffman if self.optimize_huffman else None
+                    ),
+                    ac_huffman=(
+                        coder.ac_huffman if self.optimize_huffman else None
+                    ),
+                )
+            )
+        return EncodedImage(
+            planes=tuple(encoded_planes),
+            image_shape=(image.shape[0], image.shape[1]),
+            subsample_chroma=self.subsample_chroma,
+        )
+
+    def decode(self, encoded: EncodedImage) -> np.ndarray:
+        """Decode an RGB image previously produced by :meth:`encode`."""
+        if len(encoded.planes) != 3:
+            raise ValueError(
+                f"expected 3 encoded planes, got {len(encoded.planes)}"
+            )
+        if encoded.subsample_chroma != self.subsample_chroma:
+            raise ValueError(
+                "encoded image subsampling does not match this codec"
+            )
+        decoded_planes = []
+        for plane, coder in zip(encoded.planes, self._plane_coders):
+            if plane.dc_huffman is not None or plane.ac_huffman is not None:
+                coder = _ChannelCoder(
+                    coder.table,
+                    plane.dc_huffman or coder.dc_huffman,
+                    plane.ac_huffman or coder.ac_huffman,
+                )
+            decoded_planes.append(coder.decode(plane))
+        return self._rgb_from_planes(decoded_planes, encoded.image_shape)
+
+    def encode_to_bytes(self, image: np.ndarray) -> bytes:
+        """Encode one RGB image into a self-contained byte container.
+
+        See :meth:`GrayscaleJpegCodec.encode_to_bytes`; the color
+        container embeds both quantization tables.
+        """
+        from repro.jpeg.container import pack_color_image
+
+        return pack_color_image(
+            self.encode(image), self.luma_table, self.chroma_table
+        )
+
     def compress(self, image: np.ndarray) -> CompressionResult:
         """Round-trip one RGB image and report sizes and the reconstruction.
 
@@ -763,14 +888,7 @@ class ColorJpegCodec:
         """
         image = _require_rgb(image)
         height, width, _ = image.shape
-        ycbcr = color_mod.rgb_to_ycbcr(image)
-        planes = [ycbcr[..., 0]]
-        if self.subsample_chroma:
-            planes.append(color_mod.subsample_420(ycbcr[..., 1]))
-            planes.append(color_mod.subsample_420(ycbcr[..., 2]))
-        else:
-            planes.append(ycbcr[..., 1])
-            planes.append(ycbcr[..., 2])
+        planes = self._planes_of(image)
         coders = []
         payload = 0
         decoded_planes = []
@@ -785,13 +903,7 @@ class ColorJpegCodec:
                     zz_blocks, grid_shape, (plane.shape[0], plane.shape[1])
                 )
             )
-        luma = decoded_planes[0]
-        if self.subsample_chroma:
-            cb = color_mod.upsample_420(decoded_planes[1], (height, width))
-            cr = color_mod.upsample_420(decoded_planes[2], (height, width))
-        else:
-            cb, cr = decoded_planes[1], decoded_planes[2]
-        reconstructed = color_mod.ycbcr_to_rgb(np.stack([luma, cb, cr], axis=-1))
+        reconstructed = self._rgb_from_planes(decoded_planes, (height, width))
         header = (
             self.header_bytes(coders) if self.optimize_huffman
             else self._cached_header_bytes()

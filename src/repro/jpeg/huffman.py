@@ -210,6 +210,28 @@ class HuffmanTable:
         """
         return 1 + MAX_CODE_LENGTH + len(self.values)
 
+    def to_json(self) -> dict:
+        """JSON-able ``BITS``/``HUFFVAL`` payload (the canonical identity).
+
+        The two lists fully describe a canonical table (exactly what a
+        DHT marker segment carries), so :meth:`from_json` round-trips the
+        table — and therefore every code it assigns — bit for bit.
+        """
+        return {
+            "bits": [int(count) for count in self.bits],
+            "values": [int(symbol) for symbol in self.values],
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "HuffmanTable":
+        """Rebuild a table from a :meth:`to_json` payload."""
+        return cls(
+            bits=[int(count) for count in payload["bits"]],
+            values=[int(symbol) for symbol in payload["values"]],
+            name=str(payload.get("name", "huffman")),
+        )
+
     @classmethod
     def standard_dc_luminance(cls) -> "HuffmanTable":
         """Annex K Table K.3."""

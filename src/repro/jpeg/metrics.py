@@ -33,3 +33,32 @@ def compression_ratio(original_bytes: int, compressed_bytes: int) -> float:
     if original_bytes < 0:
         raise ValueError("original size must be non-negative")
     return original_bytes / compressed_bytes
+
+
+class CompressedSizeMixin:
+    """Byte accounting shared by per-image and per-dataset results.
+
+    Expects the host class to provide ``payload_bytes``, ``header_bytes``
+    and ``original_bytes`` attributes (entropy-coded scan size, marker
+    overhead, and uncompressed size respectively); derives the total and
+    the two compression-ratio views from them.
+    """
+
+    payload_bytes: int
+    header_bytes: int
+    original_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        """Compressed size including headers."""
+        return self.payload_bytes + self.header_bytes
+
+    @property
+    def compression_ratio(self) -> float:
+        """Original size divided by total compressed size."""
+        return compression_ratio(self.original_bytes, self.total_bytes)
+
+    @property
+    def payload_compression_ratio(self) -> float:
+        """Original size divided by entropy-coded payload size only."""
+        return compression_ratio(self.original_bytes, self.payload_bytes)

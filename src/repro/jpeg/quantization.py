@@ -140,6 +140,26 @@ class QuantizationTable:
         """Average quantization step, a coarse proxy for aggressiveness."""
         return float(self.values.mean())
 
+    def to_json(self) -> dict:
+        """JSON-able payload describing this table exactly.
+
+        Steps are integers in ``[1, 255]`` after construction, so the
+        payload round-trips the table bit for bit through
+        :meth:`from_json`.
+        """
+        return {
+            "values": [[int(step) for step in row] for row in self.values],
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "QuantizationTable":
+        """Rebuild a table from a :meth:`to_json` payload."""
+        return cls(
+            np.asarray(payload["values"], dtype=np.float64),
+            name=str(payload.get("name", "custom")),
+        )
+
     def as_zigzag(self) -> np.ndarray:
         """Return the 64 steps in zig-zag order (DQT segment layout)."""
         from repro.jpeg.zigzag import zigzag

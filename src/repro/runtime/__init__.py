@@ -9,6 +9,7 @@ fallback that is bit-identical to the historical single-process loops.
 """
 
 from repro.runtime.executor import (
+    CACHE_MISS,
     TaskState,
     available_workers,
     chunk_bounds,
@@ -17,10 +18,12 @@ from repro.runtime.executor import (
     fork_available,
     imap_tasks,
     map_tasks,
+    map_tasks_resumable,
     spawn_seeds,
 )
 
 __all__ = [
+    "CACHE_MISS",
     "TaskState",
     "available_workers",
     "chunk_bounds",
@@ -29,5 +32,6 @@ __all__ = [
     "fork_available",
     "imap_tasks",
     "map_tasks",
+    "map_tasks_resumable",
     "spawn_seeds",
 ]

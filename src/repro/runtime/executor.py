@@ -158,6 +158,59 @@ def map_tasks(
         return list(pool.map(function, tasks, chunksize=chunksize))
 
 
+#: Sentinel marking a task with no cached result in
+#: :func:`map_tasks_resumable`.  ``None`` is not used because a task's
+#: legitimate result may be ``None``.
+CACHE_MISS = object()
+
+
+def map_tasks_resumable(
+    function,
+    tasks,
+    cached,
+    workers: int = 1,
+    on_result=None,
+):
+    """:func:`map_tasks`, but skipping tasks that already have a result.
+
+    ``cached`` is a list parallel to ``tasks``: entry ``i`` is either a
+    previously computed result for ``tasks[i]`` or :data:`CACHE_MISS`.
+    Only the missing tasks are mapped (serially or over the pool, with
+    the same ordering guarantees as :func:`map_tasks`); the return value
+    interleaves cached and fresh results back into task order, so a
+    resumed sweep is indistinguishable from a cold one.  ``on_result``
+    — when given — is called as ``on_result(index, result)`` for every
+    *freshly computed* result (not for cache hits), which is where the
+    experiment store persists new grid cells.
+
+    Fresh results stream through :func:`imap_tasks`, so ``on_result``
+    fires as each task completes rather than after the whole map: a
+    sweep killed (or poisoned by a raising task) partway through keeps
+    every already-finished cell, which is what makes an interrupted
+    ``--artifacts-dir`` run resumable.
+    """
+    tasks = list(tasks)
+    cached = list(cached)
+    if len(cached) != len(tasks):
+        raise ValueError(
+            f"cached must parallel tasks: {len(cached)} != {len(tasks)}"
+        )
+    pending = [
+        (index, task)
+        for index, (task, value) in enumerate(zip(tasks, cached))
+        if value is CACHE_MISS
+    ]
+    results = cached
+    fresh = imap_tasks(
+        function, [task for _, task in pending], workers=workers
+    )
+    for (index, _), value in zip(pending, fresh):
+        if on_result is not None:
+            on_result(index, value)
+        results[index] = value
+    return results
+
+
 def imap_tasks(
     function,
     tasks,

@@ -1,0 +1,179 @@
+"""Serializable artifacts: JSON round-trips and DeepNJpeg.save/load."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.bands import BandSegmentation, position_based_segmentation
+from repro.analysis.frequency import FrequencyStatistics
+from repro.core.config import DeepNJpegConfig
+from repro.core.pipeline import DeepNJpeg
+from repro.core.plm import PiecewiseLinearMapping
+from repro.core.table_design import TableDesignResult
+from repro.data.synthetic import FreqNetConfig, generate_freqnet
+from repro.jpeg.huffman import HuffmanTable
+from repro.jpeg.quantization import QuantizationTable
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return generate_freqnet(
+        FreqNetConfig(image_size=16, images_per_class=6, seed=9)
+    )
+
+
+@pytest.fixture(scope="module")
+def fitted(dataset):
+    return DeepNJpeg(DeepNJpegConfig(sampling_interval=2)).fit(dataset)
+
+
+def _json_round_trip(payload):
+    """Force the payload through real JSON text (floats via repr)."""
+    return json.loads(json.dumps(payload))
+
+
+class TestJsonRoundTrips:
+    def test_quantization_table(self):
+        table = QuantizationTable.standard_luminance(35)
+        rebuilt = QuantizationTable.from_json(_json_round_trip(table.to_json()))
+        np.testing.assert_array_equal(rebuilt.values, table.values)
+        assert rebuilt.name == table.name
+
+    def test_huffman_table(self):
+        table = HuffmanTable.standard_ac_luminance()
+        rebuilt = HuffmanTable.from_json(_json_round_trip(table.to_json()))
+        assert rebuilt == table
+        assert rebuilt.encode(0x23) == table.encode(0x23)
+
+    def test_optimized_huffman_table(self):
+        table = HuffmanTable.from_frequencies(
+            {0: 100, 1: 50, 0x23: 7, 0xF0: 3}, "opt"
+        )
+        rebuilt = HuffmanTable.from_json(_json_round_trip(table.to_json()))
+        assert rebuilt == table
+
+    def test_frequency_statistics_exact_floats(self, fitted):
+        statistics = fitted.statistics
+        rebuilt = FrequencyStatistics.from_json(
+            _json_round_trip(statistics.to_json())
+        )
+        np.testing.assert_array_equal(rebuilt.std, statistics.std)
+        np.testing.assert_array_equal(rebuilt.mean, statistics.mean)
+        assert rebuilt.block_count == statistics.block_count
+        assert rebuilt.image_count == statistics.image_count
+
+    def test_piecewise_linear_mapping(self):
+        mapping = PiecewiseLinearMapping.paper_imagenet()
+        rebuilt = PiecewiseLinearMapping.from_json(
+            _json_round_trip(mapping.to_json())
+        )
+        assert rebuilt == mapping
+
+    def test_band_segmentation(self):
+        segmentation = position_based_segmentation()
+        rebuilt = BandSegmentation.from_json(
+            _json_round_trip(segmentation.to_json())
+        )
+        np.testing.assert_array_equal(rebuilt.groups, segmentation.groups)
+        assert rebuilt.method == segmentation.method
+
+    def test_config(self):
+        config = DeepNJpegConfig(k3=2.5, lf_intercept=None, chroma_scale=2.0)
+        assert DeepNJpegConfig.from_json(
+            _json_round_trip(config.to_json())
+        ) == config
+
+    def test_table_design_result(self, fitted):
+        design = fitted.design
+        rebuilt = TableDesignResult.from_json(
+            _json_round_trip(design.to_json())
+        )
+        np.testing.assert_array_equal(rebuilt.table.values, design.table.values)
+        np.testing.assert_array_equal(
+            rebuilt.chroma_table.values, design.chroma_table.values
+        )
+        assert rebuilt.mapping == design.mapping
+        np.testing.assert_array_equal(
+            rebuilt.statistics.std, design.statistics.std
+        )
+        np.testing.assert_array_equal(
+            rebuilt.segmentation.groups, design.segmentation.groups
+        )
+
+
+class TestSaveLoad:
+    def test_save_requires_fitted(self, tmp_path):
+        with pytest.raises(RuntimeError, match="fitted"):
+            DeepNJpeg().save(str(tmp_path / "artifact.json"))
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ValueError, match="format"):
+            DeepNJpeg.load(str(path))
+
+    def test_load_rejects_future_version(self, tmp_path, fitted):
+        path = tmp_path / "artifact.json"
+        fitted.save(str(path))
+        payload = json.loads(path.read_text())
+        payload["version"] = 999
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="version"):
+            DeepNJpeg.load(str(path))
+
+    def test_round_trip_bit_identical_streams(self, tmp_path, fitted, dataset):
+        path = tmp_path / "artifact.json"
+        fitted.save(str(path))
+        loaded = DeepNJpeg.load(str(path))
+        assert loaded.config == fitted.config
+        np.testing.assert_array_equal(
+            loaded.table.values, fitted.table.values
+        )
+        for image in dataset.images[:3]:
+            assert loaded.encode(image).data == fitted.encode(image).data
+            assert (
+                loaded.encode_to_bytes(image) == fitted.encode_to_bytes(image)
+            )
+
+    def test_round_trip_color_streams(self, tmp_path, fitted):
+        rng = np.random.default_rng(17)
+        rgb = rng.uniform(0.0, 255.0, size=(16, 16, 3)).round()
+        path = tmp_path / "artifact.json"
+        fitted.save(str(path))
+        loaded = DeepNJpeg.load(str(path))
+        original = fitted.encode(rgb)
+        reloaded = loaded.encode(rgb)
+        for left, right in zip(reloaded.planes, original.planes):
+            assert left.data == right.data
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_loaded_pipeline_compresses_dataset_identically(
+        self, tmp_path, fitted, dataset, workers
+    ):
+        path = tmp_path / "artifact.json"
+        fitted.save(str(path))
+        loaded = DeepNJpeg.load(str(path))
+        original = fitted.compress_dataset(dataset, workers=workers)
+        reloaded = loaded.compress_dataset(dataset, workers=workers)
+        assert reloaded.payload_bytes == original.payload_bytes
+        assert reloaded.header_bytes == original.header_bytes
+        np.testing.assert_array_equal(
+            reloaded.dataset.images, original.dataset.images
+        )
+
+    @pytest.mark.parametrize("workers", [1, 4])
+    def test_compress_batch_workers(self, tmp_path, fitted, dataset, workers):
+        path = tmp_path / "artifact.json"
+        fitted.save(str(path))
+        loaded = DeepNJpeg.load(str(path))
+        stack = dataset.images[:6]
+        original = fitted.compress_batch(stack, workers=workers)
+        reloaded = loaded.compress_batch(stack, workers=workers)
+        assert [r.payload_bytes for r in reloaded] == [
+            r.payload_bytes for r in original
+        ]
+        for left, right in zip(reloaded, original):
+            np.testing.assert_array_equal(
+                left.reconstructed, right.reconstructed
+            )
