@@ -1,8 +1,17 @@
 """Reproduce every table and figure of the paper's evaluation.
 
-Runs the Fig. 2 / 3 / 5 / 6 / 7 / 8 / 9 experiments in sequence and prints
-the regenerated tables.  The ``--scale`` option controls the dataset size
-and training length:
+A loop over the experiment registry: each registered experiment (one per
+figure) runs through :func:`repro.experiments.api.run_experiment` with
+the same configuration — the declarative framework supplies grid
+enumeration, caching/resume, ``workers=`` sharding and ordering, so this
+script adds nothing but the loop.  The figures share work through the
+artifact store: the Fig. 5 sweeps embedded in the Fig. 6/7/8 design
+derivation and the fitted DeepN-JPEG design are store artifacts, so each
+is computed once per invocation (a session-local store is created when
+``--artifacts-dir`` is not given).
+
+The ``python -m repro`` CLI is the canonical single-experiment entry
+point; this script is the run-everything convenience.
 
 * ``tiny``  — minutes; smoke-test scale used by the benchmarks.
 * ``small`` — the default; the scale used for EXPERIMENTS.md.
@@ -12,11 +21,10 @@ and training length:
 compression behind it) over N processes; ``--workers 0`` uses every
 CPU.  Results are identical for any worker count.
 
-``--artifacts-dir DIR`` writes every grid-cell result through a
-content-addressed artifact store rooted at DIR: an interrupted or
-repeated invocation with the same configuration resumes from the
-completed cells instead of recomputing them (at the same scale a fully
-warm store replays all seven figures in seconds).
+``--artifacts-dir DIR`` persists the content-addressed artifact store at
+DIR: an interrupted or repeated invocation with the same configuration
+resumes from the completed cells instead of recomputing them (at the
+same scale a fully warm store replays all seven figures in seconds).
 
 Run with::
 
@@ -27,25 +35,17 @@ Run with::
 from __future__ import annotations
 
 import argparse
+import tempfile
 import time
 
-from repro.experiments import ArtifactStore, ExperimentConfig
-from repro.experiments import (
-    fig2_motivation,
-    fig3_feature_removal,
-    fig5_band_sensitivity,
-    fig6_k3_sweep,
-    fig7_methods,
-    fig8_generality,
-    fig9_power,
+from repro.cli import SCALES
+from repro.experiments import ArtifactStore
+from repro.experiments.api import (
+    build_experiment,
+    experiment_names,
+    run_experiment,
 )
 from repro.experiments.design_flow import derive_design_config
-
-SCALES = {
-    "tiny": ExperimentConfig.tiny,
-    "small": ExperimentConfig.small,
-    "full": ExperimentConfig.full,
-}
 
 
 def _banner(title: str) -> None:
@@ -66,7 +66,7 @@ def main() -> None:
     )
     parser.add_argument(
         "--skip", nargs="*", default=[],
-        help="figure ids to skip, e.g. --skip fig8",
+        help="experiment names to skip, e.g. --skip fig8",
     )
     parser.add_argument(
         "--workers", type=int, default=1,
@@ -76,82 +76,78 @@ def main() -> None:
     parser.add_argument(
         "--artifacts-dir", default=None,
         help="content-addressed artifact store directory; re-runs with the "
-        "same configuration resume from completed grid cells",
+        "same configuration resume from completed grid cells (a throwaway "
+        "session store is used when omitted, so the figures still share "
+        "the fitted design and the embedded Fig. 5 sweeps)",
     )
     arguments = parser.parse_args()
     config = SCALES[arguments.scale]().with_overrides(
         workers=arguments.workers
     )
-    store = (
-        ArtifactStore(arguments.artifacts_dir)
-        if arguments.artifacts_dir else None
-    )
+    artifacts_dir = arguments.artifacts_dir
+    session_store = None
+    if artifacts_dir is None:
+        # Throwaway store so the figures still share the fitted design
+        # and the embedded Fig. 5 sweeps; removed when the run ends.
+        session_store = tempfile.TemporaryDirectory(
+            prefix="repro-artifacts-"
+        )
+        artifacts_dir = session_store.name
+        print(f"(session artifact store: {artifacts_dir})")
+    store = ArtifactStore(artifacts_dir)
+    # Per-experiment parameter overrides.  The paper's design flow runs
+    # through the loop order: fig6 selects the LF slope k3, and the
+    # derived design (anchored by the fig5 sweeps, resumed from the
+    # shared store) is handed to fig7/8/9 — exactly the coupling the
+    # pre-registry script wired by hand.
+    params_by_name = {"fig8": {"epochs": arguments.fig8_epochs}}
     started = time.time()
+    deepn_config = None
 
-    _banner("Fig. 2 — accuracy vs JPEG compression (CASE 1 / CASE 2)")
-    if "fig2" not in arguments.skip:
-        fig2 = fig2_motivation.run(config, store=store)
-        print(fig2.format_table())
-        print("\nCASE 2 accuracy per epoch (Fig. 2b):")
-        for quality, curve in fig2.epoch_curves().items():
-            print(f"  QF={quality}: " + ", ".join(f"{a:.2f}" for a in curve))
+    try:
+        for name in experiment_names():
+            if name in arguments.skip:
+                continue
+            if name in ("fig7", "fig8", "fig9"):
+                if deepn_config is None:
+                    # fig6 was skipped: derive with the paper's default
+                    # k3=3.0, as the pre-registry script did.
+                    deepn_config = derive_design_config(config, store=store)
+                params_by_name.setdefault(name, {})[
+                    "deepn_config"
+                ] = deepn_config
+            experiment = build_experiment(name)
+            _banner(f"{name} — {experiment.title}")
+            result = run_experiment(
+                experiment, config, store=store, **params_by_name.get(name, {})
+            )
+            print(experiment.report(result))
+            if name == "fig6":
+                deepn_config = derive_design_config(
+                    config, k3=result.best_k3(), store=store
+                )
+            if name == "fig7":
+                # Fig. 9 normalises the sizes Fig. 7 already measured.
+                sizes = result.bytes_per_image_by_method()
+                bytes_per_method = {
+                    method: sizes[method]
+                    for method in (
+                        "Original", "RM-HF3", "SAME-Q4", "DeepN-JPEG"
+                    )
+                    if method in sizes
+                }
+                if bytes_per_method:
+                    params_by_name.setdefault("fig9", {})[
+                        "bytes_per_method"
+                    ] = bytes_per_method
 
-    _banner("Fig. 3 — removing high-frequency components flips predictions")
-    if "fig3" not in arguments.skip:
-        fig3 = fig3_feature_removal.run(config, store=store)
-        print(fig3.format_table())
-
-    _banner("Fig. 5 — per-band-group sensitivity (magnitude vs position)")
-    anchors = None
-    if "fig5" not in arguments.skip:
-        fig5 = fig5_band_sensitivity.run(config, store=store)
-        print(fig5.format_table())
-        anchors = fig5.derived_anchors()
-        print(f"\nDerived design anchors: {anchors}")
-
-    _banner("Fig. 6 — LF slope k3 sweep")
-    chosen_k3 = 3.0
-    if "fig6" not in arguments.skip:
-        fig6 = fig6_k3_sweep.run(config, anchors=anchors, store=store)
-        print(fig6.format_table())
-        chosen_k3 = fig6.best_k3()
-        print(f"\nSelected k3 = {chosen_k3:g}")
-
-    deepn_config = derive_design_config(
-        config, anchors=anchors, k3=chosen_k3, store=store
-    )
-
-    _banner("Fig. 7 — compression rate and accuracy of all candidates")
-    fig7 = None
-    if "fig7" not in arguments.skip:
-        fig7 = fig7_methods.run(config, deepn_config=deepn_config, store=store)
-        print(fig7.format_table())
-
-    _banner("Fig. 8 — generality across DNN architectures")
-    if "fig8" not in arguments.skip:
-        fig8 = fig8_generality.run(
-            config, deepn_config=deepn_config, epochs=arguments.fig8_epochs,
-            store=store,
+        print(
+            f"\nTotal wall-clock time: {time.time() - started:.0f} s "
+            f"(store: {store.hits} hits, {store.misses} misses)"
         )
-        print(fig8.format_table())
-
-    _banner("Fig. 9 — normalized data-offloading power")
-    if "fig9" not in arguments.skip:
-        bytes_per_method = None
-        if fig7 is not None:
-            sizes = fig7.bytes_per_image_by_method()
-            bytes_per_method = {
-                method: sizes[method]
-                for method in ("Original", "RM-HF3", "SAME-Q4", "DeepN-JPEG")
-                if method in sizes
-            }
-        fig9 = fig9_power.run(
-            config, deepn_config=deepn_config,
-            bytes_per_method=bytes_per_method, store=store,
-        )
-        print(fig9.format_table())
-
-    print(f"\nTotal wall-clock time: {time.time() - started:.0f} s")
+    finally:
+        if session_store is not None:
+            session_store.cleanup()
 
 
 if __name__ == "__main__":

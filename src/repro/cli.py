@@ -1,0 +1,191 @@
+"""The ``python -m repro`` command line: the canonical experiment entry point.
+
+Three subcommands over the experiment registry
+(:mod:`repro.experiments.api`):
+
+``list``
+    Every registered experiment with its one-line description.
+``run <name>``
+    Run one experiment end to end — ``--scale`` picks the
+    :class:`~repro.experiments.common.ExperimentConfig` preset,
+    ``--workers`` shards the grid, ``--artifacts-dir`` caches/resumes
+    grid cells, ``--progress`` streams cell completion, ``--json`` emits
+    a machine-readable result instead of the table.
+``replay <name>``
+    Re-run against a warm artifact store and *fail* unless every cell
+    was served from cache — the smoke check that a previous ``run``
+    persisted everything it computed.
+
+Examples::
+
+    python -m repro list
+    python -m repro run fig5 --scale tiny --workers 2 --artifacts-dir store/
+    python -m repro replay fig5 --scale tiny --workers 2 --artifacts-dir store/
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import os
+import sys
+import time
+from typing import Optional
+
+from repro.experiments import ExperimentConfig
+from repro.experiments.api import build_experiment, experiment_names, run_experiment
+from repro.experiments.store import ArtifactStore
+
+#: Named experiment scales — the ExperimentConfig presets (micro is the
+#: test-suite / golden-fixture scale).
+SCALES = {
+    "micro": ExperimentConfig.micro,
+    "tiny": ExperimentConfig.tiny,
+    "small": ExperimentConfig.small,
+    "full": ExperimentConfig.full,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Run the DeepN-JPEG reproduction experiments by name.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser(
+        "list", help="list the registered experiments",
+        description="List every registered experiment and its description.",
+    )
+
+    for command, help_text in (
+        ("run", "run one experiment end to end"),
+        ("replay", "re-run from a warm store, failing on any cache miss"),
+    ):
+        sub = subparsers.add_parser(command, help=help_text)
+        sub.add_argument(
+            "experiment", help="registered experiment name (see `repro list`)"
+        )
+        sub.add_argument(
+            "--scale", choices=sorted(SCALES), default="small",
+            help="experiment scale (dataset size and training epochs)",
+        )
+        sub.add_argument(
+            "--workers", type=int, default=1,
+            help="processes per sweep (1 = serial, 0 = all CPUs); results "
+            "are identical for any worker count",
+        )
+        sub.add_argument(
+            "--artifacts-dir", default=None,
+            required=(command == "replay"),
+            help="content-addressed artifact store directory; completed "
+            "grid cells resume from it"
+            + (" (required for replay)" if command == "replay" else ""),
+        )
+        sub.add_argument(
+            "--json", action="store_true", dest="as_json",
+            help="emit the result as JSON on stdout instead of a table",
+        )
+        sub.add_argument(
+            "--progress", action="store_true",
+            help="report cell completion (done/total) on stderr",
+        )
+    return parser
+
+
+def _progress_printer(name: str):
+    def progress(done: int, total: int) -> None:
+        end = "\n" if done == total else ""
+        print(f"\r{name}: {done}/{total} cells", end=end, file=sys.stderr,
+              flush=True)
+
+    return progress
+
+
+def _run(arguments: argparse.Namespace) -> int:
+    try:
+        experiment = build_experiment(arguments.experiment)
+    except KeyError as error:
+        print(f"error: {error.args[0]}", file=sys.stderr)
+        return 2
+    config = SCALES[arguments.scale]().with_overrides(
+        workers=arguments.workers
+    )
+    store = (
+        ArtifactStore(arguments.artifacts_dir)
+        if arguments.artifacts_dir else None
+    )
+    progress = (
+        _progress_printer(experiment.name) if arguments.progress else None
+    )
+    started = time.time()
+    result = run_experiment(experiment, config, store=store, progress=progress)
+    elapsed = time.time() - started
+
+    if arguments.command == "replay" and store.misses:
+        print(
+            f"error: replay of {experiment.name!r} was not warm — "
+            f"{store.misses} cache miss(es) ({store.hits} hits); run "
+            f"`repro run {experiment.name}` with the same scale and "
+            f"artifacts dir first",
+            file=sys.stderr,
+        )
+        return 1
+
+    if arguments.as_json:
+        payload = {
+            "experiment": experiment.name,
+            "title": experiment.title,
+            "scale": arguments.scale,
+            "workers": arguments.workers,
+            "headers": list(experiment.headers),
+            "rows": result.rows(),
+            "elapsed_seconds": elapsed,
+        }
+        if store is not None:
+            payload["store"] = {
+                "root": store.root, "hits": store.hits, "misses": store.misses,
+            }
+        json.dump(payload, sys.stdout, default=float)
+        print()
+    else:
+        print(experiment.report(result))
+        summary = f"[{experiment.name}] completed in {elapsed:.1f} s"
+        if store is not None:
+            summary += f" (store: {store.hits} hits, {store.misses} misses)"
+        print(summary, file=sys.stderr)
+    return 0
+
+
+def _import_plugin_modules() -> None:
+    """Import the modules named in ``REPRO_EXPERIMENT_MODULES``.
+
+    Out-of-tree experiments register at import time; this hook (a
+    comma-separated module list) lets the CLI see them without a code
+    change: ``REPRO_EXPERIMENT_MODULES=my_sweeps python -m repro run
+    my-experiment``.
+    """
+    for module in os.environ.get("REPRO_EXPERIMENT_MODULES", "").split(","):
+        module = module.strip()
+        if module:
+            importlib.import_module(module)
+
+
+def main(argv: Optional["list[str]"] = None) -> int:
+    arguments = build_parser().parse_args(argv)
+    _import_plugin_modules()
+    if arguments.command == "list":
+        names = experiment_names()
+        if not names:
+            print("no experiments registered")
+            return 0
+        width = max(len(name) for name in names)
+        for name in names:
+            print(f"{name.ljust(width)}  {build_experiment(name).title}")
+        return 0
+    return _run(arguments)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

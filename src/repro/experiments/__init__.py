@@ -1,11 +1,13 @@
-"""Experiment harness: one module per figure of the paper's evaluation.
+"""Experiment harness: one declarative experiment per figure of the paper.
 
-Every experiment module exposes a ``run(...)`` function that takes an
-:class:`~repro.experiments.common.ExperimentConfig` (controlling dataset
-size, training epochs and seeds) and returns a structured result object
-with a ``rows()`` method for tabular rendering and a ``format_table()``
-helper, so the same code backs the unit tests, the pytest benchmarks in
-``benchmarks/`` and the standalone example scripts.
+Every experiment is declared on :mod:`repro.experiments.api` — named
+grid axes, a pure cell function, optional heavy state builders and an
+assemble step — while the framework uniformly supplies grid enumeration,
+content-addressed caching/resume, ``workers=`` sharding and
+deterministic ordering.  Experiments register by name, so they are
+runnable via :func:`repro.experiments.api.run_experiment`, the ``python
+-m repro`` CLI, or the historical per-module ``run(config)`` shims,
+which all produce bit-identical results.
 
 Experiment index (see DESIGN.md for the full mapping):
 
@@ -22,6 +24,16 @@ Fig. 9    :mod:`repro.experiments.fig9_power`
 ========  ===========================================================
 """
 
+from repro.experiments.api import (
+    Axis,
+    Experiment,
+    TableResult,
+    build_experiment,
+    experiment_names,
+    register_experiment,
+    run_experiment,
+    unregister_experiment,
+)
 from repro.experiments.common import (
     ExperimentConfig,
     TrainedClassifier,
@@ -31,12 +43,40 @@ from repro.experiments.common import (
 )
 from repro.experiments.store import ArtifactStore, SweepCache
 
+# Importing the figure modules registers the built-in experiments (the
+# order matters only in that fig5 must precede the design-flow importers
+# fig6/7/8/9).
+from repro.experiments import (  # noqa: E402  (registration imports)
+    fig2_motivation,
+    fig3_feature_removal,
+    fig5_band_sensitivity,
+    fig6_k3_sweep,
+    fig7_methods,
+    fig8_generality,
+    fig9_power,
+)
+
 __all__ = [
     "ArtifactStore",
+    "Axis",
+    "Experiment",
     "ExperimentConfig",
     "SweepCache",
+    "TableResult",
     "TrainedClassifier",
+    "build_experiment",
+    "experiment_names",
+    "fig2_motivation",
+    "fig3_feature_removal",
+    "fig5_band_sensitivity",
+    "fig6_k3_sweep",
+    "fig7_methods",
+    "fig8_generality",
+    "fig9_power",
     "format_table",
     "make_splits",
+    "register_experiment",
+    "run_experiment",
     "train_classifier",
+    "unregister_experiment",
 ]

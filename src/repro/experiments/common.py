@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field, fields, replace
 from typing import Optional
 
 import numpy as np
@@ -79,6 +79,15 @@ class ExperimentConfig:
             raise ValueError("workers must be non-negative")
 
     @classmethod
+    def micro(cls) -> "ExperimentConfig":
+        """The smallest configuration that exercises every code path.
+
+        The scale the test suite (and its golden parity fixtures) runs
+        at; ``--scale micro`` on the CLI uses the same definition.
+        """
+        return cls(images_per_class=6, image_size=16, epochs=2, batch_size=8)
+
+    @classmethod
     def tiny(cls) -> "ExperimentConfig":
         """A configuration sized for CI / pytest-benchmark smoke runs."""
         return cls(images_per_class=16, epochs=10)
@@ -94,7 +103,20 @@ class ExperimentConfig:
         return cls(images_per_class=60, epochs=30)
 
     def with_overrides(self, **kwargs) -> "ExperimentConfig":
-        """A copy of this configuration with selected fields replaced."""
+        """A copy of this configuration with selected fields replaced.
+
+        Unknown field names raise :class:`ValueError` (listing the valid
+        fields) instead of silently passing through to ``replace`` — a
+        typo in a sweep override must never produce a config that looks
+        accepted but changed nothing.
+        """
+        valid = {field.name for field in fields(self)}
+        unknown = sorted(set(kwargs) - valid)
+        if unknown:
+            raise ValueError(
+                f"unknown ExperimentConfig field(s) {unknown}; "
+                f"valid fields: {sorted(valid)}"
+            )
         return replace(self, **kwargs)
 
     def task_key(self) -> "ExperimentConfig":

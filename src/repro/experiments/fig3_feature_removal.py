@@ -6,6 +6,9 @@ mis-predicts "robin".  Here the same operation is applied to the test
 images of the FreqNet classes whose identity lives in high-frequency
 detail, and the experiment reports how the classifier's accuracy and the
 image distortion (PSNR) change as more components are removed.
+
+Declared on :mod:`repro.experiments.api` as one ``removed_components``
+axis; the framework supplies caching, resume and sharding.
 """
 
 from __future__ import annotations
@@ -16,13 +19,14 @@ from typing import Optional
 import numpy as np
 
 from repro.data.dataset import Dataset
+from repro.experiments import api
 from repro.experiments.common import (
     ExperimentConfig,
     format_table,
     make_splits,
     train_classifier,
 )
-from repro.experiments.store import ArtifactStore, SweepCache, all_cached
+from repro.experiments.store import ArtifactStore
 from repro.jpeg.blocks import (
     assemble_blocks,
     inverse_level_shift,
@@ -32,10 +36,17 @@ from repro.jpeg.blocks import (
 from repro.jpeg.dct import block_dct2d, block_idct2d
 from repro.jpeg.metrics import psnr
 from repro.jpeg.zigzag import inverse_zigzag, zigzag
-from repro.runtime.executor import TaskState, map_tasks_resumable
 
 #: Numbers of removed components evaluated (the paper's example removes 6).
 FIG3_REMOVED_COMPONENTS = (0, 3, 6, 9, 12)
+#: Table columns (shared by the result table and the CLI --json payload).
+FIG3_HEADERS = [
+    "Removed HF bands",
+    "Top-1 accuracy",
+    "HF-class accuracy",
+    "PSNR (dB)",
+    "Flipped predictions",
+]
 
 
 def remove_high_frequency_components(
@@ -108,75 +119,115 @@ class Fig3Result:
         ]
 
     def format_table(self) -> str:
-        return format_table(
-            [
-                "Removed HF bands",
-                "Top-1 accuracy",
-                "HF-class accuracy",
-                "PSNR (dB)",
-                "Flipped predictions",
-            ],
-            self.rows(),
-        )
+        return format_table(FIG3_HEADERS, self.rows())
 
 
-def _build_state(key: tuple) -> dict:
-    """Shared state keyed by (config, high-frequency class names)."""
-    config, high_frequency_classes = key
-    train_dataset, test_dataset = make_splits(config)
-    classifier = train_classifier(train_dataset, config)
-    high_frequency_labels = [
-        test_dataset.class_names.index(name)
-        for name in high_frequency_classes
-        if name in test_dataset.class_names
-    ]
-    return {
-        "test_dataset": test_dataset,
-        "classifier": classifier,
-        "baseline_predictions": classifier.predictions_on(test_dataset),
-        "high_frequency_mask": np.isin(
-            test_dataset.labels, high_frequency_labels
-        ),
+class Fig3Experiment(api.Experiment):
+    """The feature-degradation demonstration as a declarative experiment."""
+
+    name = "fig3"
+    title = "High-frequency removal flips predictions (accuracy / PSNR)"
+    headers = FIG3_HEADERS
+    defaults = {
+        "removed_components": FIG3_REMOVED_COMPONENTS,
+        "high_frequency_classes": ("textured_blob",),
     }
 
+    def axes(self, ctx: api.RunContext) -> "list[api.Axis]":
+        return [
+            api.Axis(
+                "removed_components",
+                tuple(int(count) for count in ctx.params["removed_components"]),
+            )
+        ]
 
-_STATE = TaskState(_build_state)
+    def cell_identity(self, ctx: api.RunContext, point: dict) -> dict:
+        return {
+            "removed_components": point["removed_components"],
+            "high_frequency_classes": list(
+                ctx.params["high_frequency_classes"]
+            ),
+        }
 
-
-def _removal_cell(task: tuple) -> Fig3Entry:
-    """One removed-component count: degrade, predict, measure."""
-    key, count = task
-    state = _STATE.get(key)
-    test_dataset = state["test_dataset"]
-    high_frequency_mask = state["high_frequency_mask"]
-    degraded = remove_high_frequency_dataset(test_dataset, count)
-    predictions = state["classifier"].predictions_on(degraded)
-    accuracy = float((predictions == test_dataset.labels).mean())
-    if high_frequency_mask.any():
-        hf_accuracy = float(
-            (
-                predictions[high_frequency_mask]
-                == test_dataset.labels[high_frequency_mask]
-            ).mean()
+    def state_key(self, ctx: api.RunContext):
+        return (
+            ctx.config.task_key(),
+            tuple(ctx.params["high_frequency_classes"]),
         )
-    else:
-        hf_accuracy = float("nan")
-    psnr_values = [
-        psnr(original, degraded_image)
-        for original, degraded_image in zip(
-            test_dataset.images, degraded.images
+
+    def build_state(self, key: tuple) -> dict:
+        """Shared state keyed by (config, high-frequency class names)."""
+        config, high_frequency_classes = key
+        train_dataset, test_dataset = make_splits(config)
+        classifier = train_classifier(train_dataset, config)
+        high_frequency_labels = [
+            test_dataset.class_names.index(name)
+            for name in high_frequency_classes
+            if name in test_dataset.class_names
+        ]
+        return {
+            "test_dataset": test_dataset,
+            "classifier": classifier,
+            "baseline_predictions": classifier.predictions_on(test_dataset),
+            "high_frequency_mask": np.isin(
+                test_dataset.labels, high_frequency_labels
+            ),
+        }
+
+    def compute_cell(self, key, state, cell: dict, extra) -> Fig3Entry:
+        """One removed-component count: degrade, predict, measure."""
+        count = cell["removed_components"]
+        test_dataset = state["test_dataset"]
+        high_frequency_mask = state["high_frequency_mask"]
+        degraded = remove_high_frequency_dataset(test_dataset, count)
+        predictions = state["classifier"].predictions_on(degraded)
+        accuracy = float((predictions == test_dataset.labels).mean())
+        if high_frequency_mask.any():
+            hf_accuracy = float(
+                (
+                    predictions[high_frequency_mask]
+                    == test_dataset.labels[high_frequency_mask]
+                ).mean()
+            )
+        else:
+            hf_accuracy = float("nan")
+        psnr_values = [
+            psnr(original, degraded_image)
+            for original, degraded_image in zip(
+                test_dataset.images, degraded.images
+            )
+        ]
+        finite = [value for value in psnr_values if np.isfinite(value)]
+        return Fig3Entry(
+            removed_components=count,
+            accuracy=accuracy,
+            high_frequency_class_accuracy=hf_accuracy,
+            mean_psnr=float(np.mean(finite)) if finite else float("inf"),
+            flipped_fraction=float(
+                (predictions != state["baseline_predictions"]).mean()
+            ),
         )
-    ]
-    finite = [value for value in psnr_values if np.isfinite(value)]
-    return Fig3Entry(
-        removed_components=count,
-        accuracy=accuracy,
-        high_frequency_class_accuracy=hf_accuracy,
-        mean_psnr=float(np.mean(finite)) if finite else float("inf"),
-        flipped_fraction=float(
-            (predictions != state["baseline_predictions"]).mean()
-        ),
-    )
+
+    def cell_to_payload(self, value: Fig3Entry) -> dict:
+        return asdict(value)
+
+    def cell_from_payload(self, payload: dict) -> Fig3Entry:
+        return Fig3Entry(**payload)
+
+    def assemble(
+        self, ctx: api.RunContext, results: list, scalars: dict
+    ) -> Fig3Result:
+        result = Fig3Result(
+            high_frequency_classes=list(ctx.params["high_frequency_classes"])
+        )
+        result.entries.extend(results)
+        return result
+
+
+api.register_experiment(Fig3Experiment.name, Fig3Experiment)
+
+#: The shared worker-state memo (historical name, see the parallel tests).
+_STATE = api._STATE
 
 
 def run(
@@ -187,42 +238,12 @@ def run(
 ) -> Fig3Result:
     """Reproduce the Fig. 3 feature-degradation demonstration.
 
-    With ``config.workers > 1`` each removed-component count is an
-    independent pool task; results are identical to the serial run.
-
-    With ``store`` each removal cell resumes from the content-addressed
-    artifact store; a fully warm store returns without training the
-    classifier or degrading any images.
+    A thin shim over the declarative :class:`Fig3Experiment`: sharding
+    (``config.workers``), per-cell store resume and ordering are
+    supplied by :func:`repro.experiments.api.run_experiment`.
     """
-    config = config if config is not None else ExperimentConfig.small()
-    key = (config.task_key(), tuple(high_frequency_classes))
-    cells = [
-        {
-            "removed_components": int(count),
-            "high_frequency_classes": list(high_frequency_classes),
-        }
-        for count in removed_components
-    ]
-    cache = SweepCache(
-        store, "fig3", config,
-        from_payload=lambda payload: Fig3Entry(**payload),
-        to_payload=asdict,
+    return api.run_experiment(
+        Fig3Experiment(), config, store=store,
+        removed_components=removed_components,
+        high_frequency_classes=high_frequency_classes,
     )
-    cached = cache.lookup_many(cells)
-    result = Fig3Result(high_frequency_classes=list(high_frequency_classes))
-    if all_cached(cached):
-        result.entries.extend(cached)
-        return result
-    _STATE.get(key)
-    tasks = [(key, count) for count in removed_components]
-    try:
-        result.entries.extend(
-            map_tasks_resumable(
-                _removal_cell, tasks, cached,
-                workers=config.workers, on_result=cache.recorder(cells),
-            )
-        )
-    finally:
-        # Release the datasets and classifier after the sweep.
-        _STATE.clear()
-    return result

@@ -8,6 +8,11 @@ classifier trained on uncompressed images.  The output also extracts the
 paper's design anchors: the largest accuracy-neutral step per group
 (``Q1`` for HF, ``Q2`` for MF) and the LF knee (``Qmin``), which the
 Fig. 6/7/8 experiments feed into the piece-wise linear mapping.
+
+The experiment is declared on :mod:`repro.experiments.api`: two axes
+(segmentation method × linked (group, step) pairs), one cell function,
+one state builder and a cached ``baseline_accuracy`` scalar — caching,
+resume, sharding and ordering come from the framework.
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ from repro.analysis.bands import (
 )
 from repro.analysis.frequency import analyze_dataset
 from repro.core.baselines import compress_dataset_with_table
+from repro.experiments import api
 from repro.experiments.common import (
     ExperimentConfig,
     TrainedClassifier,
@@ -31,9 +37,8 @@ from repro.experiments.common import (
     make_splits,
     train_classifier,
 )
-from repro.experiments.store import ArtifactStore, SweepCache, all_cached
+from repro.experiments.store import ArtifactStore
 from repro.jpeg.quantization import QuantizationTable
-from repro.runtime.executor import CACHE_MISS, TaskState, map_tasks_resumable
 
 #: The two band-segmentation methods the figure contrasts (the order of
 #: the sweep grid and of the state's ``segmentations`` dict).
@@ -49,6 +54,8 @@ DEFAULT_STEP_SWEEPS = {
 }
 #: Accuracy tolerance when extracting the largest accuracy-neutral step.
 ACCURACY_TOLERANCE = 0.005
+#: Table columns (shared by the result table and the CLI --json payload).
+FIG5_HEADERS = ["Segmentation", "Group", "Step", "Accuracy", "Normalized"]
 
 
 def group_quantization_table(
@@ -88,10 +95,7 @@ class Fig5Result:
         ]
 
     def format_table(self) -> str:
-        return format_table(
-            ["Segmentation", "Group", "Step", "Accuracy", "Normalized"],
-            self.rows(),
-        )
+        return format_table(FIG5_HEADERS, self.rows())
 
     def entries_for(self, method: str, group: str) -> "list[Fig5Entry]":
         """Sweep points of one curve, ordered by step."""
@@ -136,29 +140,6 @@ class Fig5Result:
         return {"q1": float(q1), "q2": float(q2), "q_min": float(q_min)}
 
 
-def _build_state(key) -> dict:
-    """Reconstruct the sweep's shared state from the config alone.
-
-    Runs in the parent before the pool opens (fork workers then inherit
-    the result for free) and in any worker whose memo is cold.  The
-    classifier is retrained from the config seeds, so a cold rebuild is
-    bit-identical to the parent's copy.
-    """
-    if isinstance(key, tuple):
-        # Keys of externally supplied classifiers (seeded by run()) are
-        # not reconstructible from the config; they only ever resolve
-        # through a warm memo (the parent's, inherited over fork).
-        raise RuntimeError(
-            "Fig. 5 worker state for an externally supplied classifier "
-            "cannot be rebuilt from the config; this indicates a cold "
-            "worker on a non-fork platform"
-        )
-    config = key
-    train_dataset, test_dataset = make_splits(config)
-    classifier = train_classifier(train_dataset, config)
-    return _finish_state(config, train_dataset, test_dataset, classifier)
-
-
 def _finish_state(config, train_dataset, test_dataset, classifier) -> dict:
     statistics = analyze_dataset(
         train_dataset, interval=config.sampling_interval
@@ -175,34 +156,119 @@ def _finish_state(config, train_dataset, test_dataset, classifier) -> dict:
     }
 
 
-_STATE = TaskState(_build_state)
+class Fig5Experiment(api.Experiment):
+    """Per-band-group sensitivity sweep as a declarative experiment."""
+
+    name = "fig5"
+    title = "Per-band-group quantization sensitivity (magnitude vs position)"
+    headers = FIG5_HEADERS
+    defaults = {"step_sweeps": None, "classifier": None}
+
+    def store_enabled(self, ctx: api.RunContext) -> bool:
+        # A caller-supplied classifier is not derivable from the config,
+        # so its cells must never be cached under the config's address.
+        return ctx.params["classifier"] is None
+
+    def axes(self, ctx: api.RunContext) -> "list[api.Axis]":
+        step_sweeps = ctx.params["step_sweeps"]
+        if step_sweeps is None:
+            step_sweeps = DEFAULT_STEP_SWEEPS
+        pairs = [
+            (group, float(step))
+            for group, steps in step_sweeps.items()
+            for step in steps
+        ]
+        return [
+            api.Axis("method", SEGMENTATION_METHODS),
+            api.Axis(("group", "step"), pairs),
+        ]
+
+    def scalar_names(self, ctx: api.RunContext) -> "tuple[str, ...]":
+        return ("baseline_accuracy",)
+
+    def compute_scalar(self, ctx: api.RunContext, state, name: str):
+        return state[name]
+
+    def state_key(self, ctx: api.RunContext):
+        classifier = ctx.params["classifier"]
+        if classifier is None:
+            return ctx.config.task_key()
+        # Keys of externally supplied classifiers are not reconstructible
+        # from the config; they only resolve through a warm memo.
+        return (ctx.config.task_key(), id(classifier))
+
+    def setup_state(self, ctx: api.RunContext) -> Optional[dict]:
+        classifier = ctx.params["classifier"]
+        if classifier is None:
+            return None
+        train_dataset, test_dataset = make_splits(ctx.config)
+        return _finish_state(ctx.config, train_dataset, test_dataset, classifier)
+
+    def build_state(self, key) -> dict:
+        """Reconstruct the sweep's shared state from the config alone.
+
+        Runs in the parent before the pool opens (fork workers then
+        inherit the result for free) and in any worker whose memo is
+        cold.  The classifier is retrained from the config seeds, so a
+        cold rebuild is bit-identical to the parent's copy.
+        """
+        if isinstance(key, tuple):
+            raise RuntimeError(
+                "Fig. 5 worker state for an externally supplied classifier "
+                "cannot be rebuilt from the config; this indicates a cold "
+                "worker on a non-fork platform"
+            )
+        config = key
+        train_dataset, test_dataset = make_splits(config)
+        classifier = train_classifier(train_dataset, config)
+        return _finish_state(config, train_dataset, test_dataset, classifier)
+
+    def compute_cell(self, key, state, cell: dict, extra) -> Fig5Entry:
+        """One (segmentation method, group, step) grid point."""
+        segmentation = state["segmentations"][cell["method"]]
+        baseline_accuracy = state["baseline_accuracy"]
+        table = group_quantization_table(
+            segmentation, cell["group"], cell["step"]
+        )
+        compressed = compress_dataset_with_table(
+            state["test_dataset"], table, method=table.name
+        )
+        accuracy = state["classifier"].accuracy_on(compressed)
+        return Fig5Entry(
+            method=cell["method"],
+            group=cell["group"],
+            step=float(cell["step"]),
+            accuracy=accuracy,
+            normalized_accuracy=(
+                accuracy / baseline_accuracy if baseline_accuracy > 0 else 0.0
+            ),
+        )
+
+    def cell_to_payload(self, value: Fig5Entry) -> dict:
+        return asdict(value)
+
+    def cell_from_payload(self, payload: dict) -> Fig5Entry:
+        return Fig5Entry(**payload)
+
+    def assemble(
+        self, ctx: api.RunContext, results: list, scalars: dict
+    ) -> Fig5Result:
+        result = Fig5Result(baseline_accuracy=scalars["baseline_accuracy"])
+        result.entries.extend(results)
+        return result
+
+    def report(self, result: Fig5Result) -> str:
+        return (
+            result.format_table()
+            + f"\n\nDerived design anchors: {result.derived_anchors()}"
+        )
 
 
-def _sweep_cell(task: tuple) -> Fig5Entry:
-    """One (segmentation method, group, step) grid point.
+api.register_experiment(Fig5Experiment.name, Fig5Experiment)
 
-    The task ships only the config key and the cell coordinates; the
-    heavy state (datasets, trained classifier, segmentations) comes from
-    the process-local :data:`_STATE` memo.
-    """
-    key, method, group, step = task
-    state = _STATE.get(key)
-    segmentation = state["segmentations"][method]
-    baseline_accuracy = state["baseline_accuracy"]
-    table = group_quantization_table(segmentation, group, step)
-    compressed = compress_dataset_with_table(
-        state["test_dataset"], table, method=table.name
-    )
-    accuracy = state["classifier"].accuracy_on(compressed)
-    return Fig5Entry(
-        method=method,
-        group=group,
-        step=float(step),
-        accuracy=accuracy,
-        normalized_accuracy=(
-            accuracy / baseline_accuracy if baseline_accuracy > 0 else 0.0
-        ),
-    )
+#: The shared worker-state memo (kept under the historical name for the
+#: tests that force cold rebuilds between runs).
+_STATE = api._STATE
 
 
 def run(
@@ -213,64 +279,15 @@ def run(
 ) -> Fig5Result:
     """Reproduce the Fig. 5 per-group sensitivity sweeps.
 
-    With ``config.workers > 1`` the (method, group, step) grid is
-    sharded over a process pool; every grid point is an independent
-    task, so the entries are identical to the serial run in value and
-    order.
-
-    With ``store`` every grid cell and the baseline accuracy resume
-    from the content-addressed artifact store: completed cells load
-    instead of recomputing, and a fully warm store returns without
-    rebuilding the datasets, retraining the classifier or recompressing
-    anything.  A caller-supplied ``classifier`` is not derivable from
-    the config, so the store is bypassed in that case.
+    A thin shim over the declarative :class:`Fig5Experiment`: with
+    ``config.workers > 1`` the (method, group, step) grid is sharded
+    over a process pool, and with ``store`` every grid cell and the
+    baseline accuracy resume from the content-addressed artifact store
+    (bypassed when a caller-supplied ``classifier`` makes the state
+    non-derivable) — all supplied by
+    :func:`repro.experiments.api.run_experiment`.
     """
-    config = config if config is not None else ExperimentConfig.small()
-    step_sweeps = step_sweeps if step_sweeps is not None else DEFAULT_STEP_SWEEPS
-    effective_store = store if classifier is None else None
-    cells = [
-        {"method": method, "group": group, "step": float(step)}
-        for method in SEGMENTATION_METHODS
-        for group, steps in step_sweeps.items()
-        for step in steps
-    ]
-    cache = SweepCache(
-        effective_store, "fig5", config,
-        from_payload=lambda payload: Fig5Entry(**payload),
-        to_payload=asdict,
+    return api.run_experiment(
+        Fig5Experiment(), config, store=store,
+        step_sweeps=step_sweeps, classifier=classifier,
     )
-    scalars = SweepCache(effective_store, "fig5", config)
-    cached = cache.lookup_many(cells)
-    baseline_accuracy = scalars.lookup({"cell": "baseline_accuracy"})
-    if baseline_accuracy is not CACHE_MISS and all_cached(cached):
-        result = Fig5Result(baseline_accuracy=baseline_accuracy)
-        result.entries.extend(cached)
-        return result
-    if classifier is None:
-        key = config.task_key()
-        state = _STATE.get(key)
-    else:
-        # Reuse the caller's classifier: build the rest of the state
-        # around it and seed the memo (under a key distinct from the
-        # config-derived state) so forked workers inherit it.
-        key = (config.task_key(), id(classifier))
-        train_dataset, test_dataset = make_splits(config)
-        state = _finish_state(config, train_dataset, test_dataset, classifier)
-        _STATE.seed(key, state)
-    scalars.record({"cell": "baseline_accuracy"}, state["baseline_accuracy"])
-    tasks = [
-        (key, cell["method"], cell["group"], cell["step"]) for cell in cells
-    ]
-    result = Fig5Result(baseline_accuracy=state["baseline_accuracy"])
-    try:
-        result.entries.extend(
-            map_tasks_resumable(
-                _sweep_cell, tasks, cached,
-                workers=config.workers, on_result=cache.recorder(cells),
-            )
-        )
-    finally:
-        # Release the sweep's datasets/classifier once the grid is done;
-        # the memo only needs to outlive the pool it was forked into.
-        _STATE.clear()
-    return result

@@ -5,6 +5,10 @@ and test sets are compressed with it, a classifier is trained on the
 compressed training set and evaluated on the compressed test set (the
 end-to-end deployment scenario), and the compression rate is reported
 relative to the QF=100 "Original" dataset.
+
+Declared on :mod:`repro.experiments.api` as one ``k3`` axis whose cells
+are addressed by the base design they perturb, plus a cached
+``baseline_accuracy`` scalar.
 """
 
 from __future__ import annotations
@@ -15,6 +19,7 @@ from typing import Optional
 from repro.core.baselines import JpegCompressor
 from repro.core.config import DeepNJpegConfig
 from repro.core.pipeline import DeepNJpeg
+from repro.experiments import api
 from repro.experiments.common import (
     ExperimentConfig,
     format_table,
@@ -23,11 +28,12 @@ from repro.experiments.common import (
     train_classifier,
 )
 from repro.experiments.design_flow import derive_design_config
-from repro.experiments.store import ArtifactStore, SweepCache, all_cached
-from repro.runtime.executor import CACHE_MISS, TaskState, map_tasks_resumable
+from repro.experiments.store import ArtifactStore
 
 #: The k3 values swept in the paper's Fig. 6.
 FIG6_K3_VALUES = (1.0, 2.0, 3.0, 4.0, 5.0)
+#: Table columns (shared by the result table and the CLI --json payload).
+FIG6_HEADERS = ["LF slope", "CR (vs QF=100)", "Top-1 accuracy", "Mean Q step"]
 
 
 @dataclass(frozen=True)
@@ -55,10 +61,7 @@ class Fig6Result:
         ]
 
     def format_table(self) -> str:
-        return format_table(
-            ["LF slope", "CR (vs QF=100)", "Top-1 accuracy", "Mean Q step"],
-            self.rows(),
-        )
+        return format_table(FIG6_HEADERS, self.rows())
 
     def best_k3(self, tolerance: float = 0.01) -> float:
         """The k3 giving the best CR while staying within ``tolerance`` of
@@ -71,57 +74,111 @@ class Fig6Result:
         return max(candidates, key=lambda entry: entry.compression_ratio).k3
 
 
-def _build_state(config: ExperimentConfig) -> dict:
-    """Shared state of the k3 sweep, reconstructible from the config.
+class Fig6Experiment(api.Experiment):
+    """The k3 trade-off sweep as a declarative experiment."""
 
-    The QF=100 reference compression of the test set lives here so a
-    worker can compute its cell's relative compression rate locally —
-    the same deterministic reference every other cell derives.
-    """
-    train_dataset, test_dataset = make_splits(config)
-    return {
-        "train_dataset": train_dataset,
-        "test_dataset": test_dataset,
-        "original_test": JpegCompressor(100).compress_dataset(test_dataset),
-    }
+    name = "fig6"
+    title = "Compression-rate / accuracy trade-off over the LF slope k3"
+    headers = FIG6_HEADERS
+    defaults = {"k3_values": FIG6_K3_VALUES, "anchors": None}
+
+    def prepare(self, ctx: api.RunContext) -> None:
+        # The base design every cell perturbs; resumes its embedded
+        # Fig. 5 sweeps from the store when anchors are not supplied.
+        ctx.derived["base_design"] = derive_design_config(
+            ctx.config, anchors=ctx.params["anchors"], store=ctx.store
+        )
+
+    def axes(self, ctx: api.RunContext) -> "list[api.Axis]":
+        return [
+            api.Axis(
+                "k3", tuple(float(k3) for k3 in ctx.params["k3_values"])
+            )
+        ]
+
+    def cell_identity(self, ctx: api.RunContext, point: dict) -> dict:
+        return {
+            "k3": point["k3"],
+            "design": ctx.derived["base_design"].to_json(),
+        }
+
+    def scalar_names(self, ctx: api.RunContext) -> "tuple[str, ...]":
+        return ("baseline_accuracy",)
+
+    def compute_scalar(self, ctx: api.RunContext, state, name: str) -> float:
+        # Baseline: classifier trained and tested on the QF=100 dataset.
+        original_train = JpegCompressor(100).compress_dataset(
+            state["train_dataset"]
+        )
+        baseline = train_classifier(original_train, ctx.config)
+        return baseline.accuracy_on(state["original_test"])
+
+    def build_state(self, config: ExperimentConfig) -> dict:
+        """Shared state of the k3 sweep, reconstructible from the config.
+
+        The QF=100 reference compression of the test set lives here so a
+        worker can compute its cell's relative compression rate locally —
+        the same deterministic reference every other cell derives.
+        """
+        train_dataset, test_dataset = make_splits(config)
+        return {
+            "train_dataset": train_dataset,
+            "test_dataset": test_dataset,
+            "original_test": JpegCompressor(100).compress_dataset(test_dataset),
+        }
+
+    def task_extra(self, ctx: api.RunContext, index: int, cell: dict):
+        # Ship the base design object itself — a few floats, never arrays.
+        return ctx.derived["base_design"]
+
+    def compute_cell(self, key, state, cell: dict, extra) -> Fig6Entry:
+        """One k3 grid point: design, compress, train, evaluate."""
+        base_design, k3 = extra, cell["k3"]
+        design_config = DeepNJpegConfig(
+            lf_band_count=base_design.lf_band_count,
+            mf_band_count=base_design.mf_band_count,
+            q_max_step=base_design.q_max_step,
+            q1=base_design.q1,
+            q2=base_design.q2,
+            q_min=base_design.q_min,
+            k3=float(k3),
+            lf_intercept=base_design.lf_intercept,
+            sampling_interval=base_design.sampling_interval,
+        )
+        deepn = DeepNJpeg(design_config).fit(state["train_dataset"])
+        compressed_train = deepn.compress_dataset(state["train_dataset"])
+        compressed_test = deepn.compress_dataset(state["test_dataset"])
+        classifier = train_classifier(compressed_train, key)
+        return Fig6Entry(
+            k3=float(k3),
+            compression_ratio=relative_compression_rate(
+                compressed_test, state["original_test"]
+            ),
+            accuracy=classifier.accuracy_on(compressed_test),
+            mean_quantization_step=deepn.table.mean_step(),
+        )
+
+    def cell_to_payload(self, value: Fig6Entry) -> dict:
+        return asdict(value)
+
+    def cell_from_payload(self, payload: dict) -> Fig6Entry:
+        return Fig6Entry(**payload)
+
+    def assemble(
+        self, ctx: api.RunContext, results: list, scalars: dict
+    ) -> Fig6Result:
+        result = Fig6Result(baseline_accuracy=scalars["baseline_accuracy"])
+        result.entries.extend(results)
+        return result
+
+    def report(self, result: Fig6Result) -> str:
+        return result.format_table() + f"\n\nSelected k3 = {result.best_k3():g}"
 
 
-_STATE = TaskState(_build_state)
+api.register_experiment(Fig6Experiment.name, Fig6Experiment)
 
-
-def _k3_cell(task: tuple) -> Fig6Entry:
-    """One k3 grid point: design, compress, train, evaluate.
-
-    The task ships the config key, the base design parameters and its
-    k3 value — no arrays; datasets are reconstructed (or fork-inherited)
-    through the :data:`_STATE` memo, and the classifier is trained in
-    the worker from the config seeds.
-    """
-    key, base_design, k3 = task
-    state = _STATE.get(key)
-    design_config = DeepNJpegConfig(
-        lf_band_count=base_design.lf_band_count,
-        mf_band_count=base_design.mf_band_count,
-        q_max_step=base_design.q_max_step,
-        q1=base_design.q1,
-        q2=base_design.q2,
-        q_min=base_design.q_min,
-        k3=float(k3),
-        lf_intercept=base_design.lf_intercept,
-        sampling_interval=base_design.sampling_interval,
-    )
-    deepn = DeepNJpeg(design_config).fit(state["train_dataset"])
-    compressed_train = deepn.compress_dataset(state["train_dataset"])
-    compressed_test = deepn.compress_dataset(state["test_dataset"])
-    classifier = train_classifier(compressed_train, key)
-    return Fig6Entry(
-        k3=float(k3),
-        compression_ratio=relative_compression_rate(
-            compressed_test, state["original_test"]
-        ),
-        accuracy=classifier.accuracy_on(compressed_test),
-        mean_quantization_step=deepn.table.mean_step(),
-    )
+#: The shared worker-state memo (historical name, see the parallel tests).
+_STATE = api._STATE
 
 
 def run(
@@ -132,55 +189,12 @@ def run(
 ) -> Fig6Result:
     """Reproduce the Fig. 6 k3 sweep.
 
-    With ``config.workers > 1`` each k3 value (table design, dataset
-    compression, classifier training, evaluation) is an independent
-    pool task; results are identical to the serial run.
-
-    With ``store`` each k3 cell — addressed by the base design it
-    perturbs — and the baseline accuracy resume from the
-    content-addressed artifact store; a fully warm store returns
-    without compressing or training anything.
+    A thin shim over the declarative :class:`Fig6Experiment`: sharding
+    (``config.workers``), per-cell store resume (cells addressed by the
+    base design they perturb) and the cached baseline accuracy are
+    supplied by :func:`repro.experiments.api.run_experiment`.
     """
-    config = config if config is not None else ExperimentConfig.small()
-    key = config.task_key()
-    base_design = derive_design_config(config, anchors=anchors, store=store)
-    cells = [
-        {"k3": float(k3), "design": base_design.to_json()}
-        for k3 in k3_values
-    ]
-    cache = SweepCache(
-        store, "fig6", config,
-        from_payload=lambda payload: Fig6Entry(**payload),
-        to_payload=asdict,
+    return api.run_experiment(
+        Fig6Experiment(), config, store=store,
+        k3_values=k3_values, anchors=anchors,
     )
-    scalars = SweepCache(store, "fig6", config)
-    cached = cache.lookup_many(cells)
-    baseline_accuracy = scalars.lookup({"cell": "baseline_accuracy"})
-    if baseline_accuracy is not CACHE_MISS and all_cached(cached):
-        result = Fig6Result(baseline_accuracy=baseline_accuracy)
-        result.entries.extend(cached)
-        return result
-    state = _STATE.get(key)
-
-    if baseline_accuracy is CACHE_MISS:
-        # Baseline: classifier trained and tested on the QF=100 dataset.
-        original_train = JpegCompressor(100).compress_dataset(
-            state["train_dataset"]
-        )
-        baseline = train_classifier(original_train, config)
-        baseline_accuracy = baseline.accuracy_on(state["original_test"])
-        scalars.record({"cell": "baseline_accuracy"}, baseline_accuracy)
-
-    tasks = [(key, base_design, cell["k3"]) for cell in cells]
-    result = Fig6Result(baseline_accuracy=baseline_accuracy)
-    try:
-        result.entries.extend(
-            map_tasks_resumable(
-                _k3_cell, tasks, cached,
-                workers=config.workers, on_result=cache.recorder(cells),
-            )
-        )
-    finally:
-        # Release the datasets and reference compression after the sweep.
-        _STATE.clear()
-    return result

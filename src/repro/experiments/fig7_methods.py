@@ -7,6 +7,10 @@ every band, step ∈ {4, 8, 12}) and DeepN-JPEG.  For every candidate the
 train and test sets are compressed, a classifier is trained on the
 compressed training set and evaluated on the compressed test set, and the
 compression rate is reported relative to "Original".
+
+Declared on :mod:`repro.experiments.api` as one ``codec`` axis over the
+candidates' ``spec()`` identities; each cell returns absolute byte
+counts and the assemble step derives the relative compression rates.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ from repro.core.baselines import (
     SameQCompressor,
 )
 from repro.core.pipeline import DeepNJpeg, DeepNJpegCompressor
+from repro.experiments import api
 from repro.experiments.common import (
     ExperimentConfig,
     format_table,
@@ -28,12 +33,16 @@ from repro.experiments.common import (
     train_classifier,
 )
 from repro.experiments.design_flow import derive_design_config, fitted_pipeline
-from repro.experiments.store import ArtifactStore, SweepCache, all_cached
-from repro.runtime.executor import TaskState, map_tasks_resumable
+from repro.experiments.store import ArtifactStore
 
 #: RM-HF and SAME-Q parameter sets evaluated in the paper's Fig. 7.
 FIG7_RMHF_COMPONENTS = (3, 6, 9)
 FIG7_SAMEQ_STEPS = (4, 8, 12)
+#: Table columns (shared by the result table and the CLI --json payload).
+FIG7_HEADERS = [
+    "Method", "CR (vs Original)", "Top-1 accuracy",
+    "Bytes/image", "PSNR (dB)",
+]
 
 
 @dataclass(frozen=True)
@@ -61,11 +70,7 @@ class Fig7Result:
         ]
 
     def format_table(self) -> str:
-        return format_table(
-            ["Method", "CR (vs Original)", "Top-1 accuracy",
-             "Bytes/image", "PSNR (dB)"],
-            self.rows(),
-        )
+        return format_table(FIG7_HEADERS, self.rows())
 
     def entry(self, method: str) -> Fig7Entry:
         """Look up one candidate by name."""
@@ -104,39 +109,111 @@ def candidate_compressors(
     return compressors
 
 
-def _build_state(config: ExperimentConfig) -> dict:
-    """Datasets of the comparison, reconstructible from the config."""
-    train_dataset, test_dataset = make_splits(config)
-    return {"train_dataset": train_dataset, "test_dataset": test_dataset}
+class Fig7Experiment(api.Experiment):
+    """The candidate comparison as a declarative experiment."""
+
+    name = "fig7"
+    title = "Compression rate and accuracy of all candidate compressors"
+    headers = FIG7_HEADERS
+    defaults = {
+        "deepn_config": None,
+        "anchors": None,
+        "rmhf_components": FIG7_RMHF_COMPONENTS,
+        "sameq_steps": FIG7_SAMEQ_STEPS,
+    }
+
+    def prepare(self, ctx: api.RunContext) -> None:
+        deepn_config = ctx.params["deepn_config"]
+        if deepn_config is None:
+            deepn_config = derive_design_config(
+                ctx.config, anchors=ctx.params["anchors"], store=ctx.store
+            )
+        key = self.state_key(ctx)
+        # The fitted design is itself a store artifact; the dataset
+        # provider is a closure over the shared state memo so a warm fit
+        # never materialises the datasets.
+        deepn = fitted_pipeline(
+            ctx.config, deepn_config,
+            lambda: api.shared_state(self, key)["train_dataset"],
+            store=ctx.store,
+        )
+        ctx.derived["compressors"] = candidate_compressors(
+            deepn,
+            tuple(ctx.params["rmhf_components"]),
+            tuple(ctx.params["sameq_steps"]),
+        )
+
+    def axes(self, ctx: api.RunContext) -> "list[api.Axis]":
+        return [
+            api.Axis(
+                "codec",
+                [compressor.spec() for compressor in ctx.derived["compressors"]],
+            )
+        ]
+
+    def build_state(self, config: ExperimentConfig) -> dict:
+        """Datasets of the comparison, reconstructible from the config."""
+        train_dataset, test_dataset = make_splits(config)
+        return {"train_dataset": train_dataset, "test_dataset": test_dataset}
+
+    def task_extra(self, ctx: api.RunContext, index: int, cell: dict):
+        # Ship the candidate compressor itself — a fitted DeepN-JPEG
+        # pipeline pickles to a few KB of table state, never arrays.
+        return ctx.derived["compressors"][index]
+
+    def compute_cell(self, key, state, cell: dict, extra) -> tuple:
+        """One candidate: compress train/test, train, evaluate.
+
+        Returns the entry fields plus the candidate's absolute
+        compressed size; :meth:`assemble` derives the relative
+        compression rate against the first candidate once all sizes are
+        in.
+        """
+        compressor = extra
+        compressed_train = compressor.compress_dataset(state["train_dataset"])
+        compressed_test = compressor.compress_dataset(state["test_dataset"])
+        classifier = train_classifier(compressed_train, key)
+        method_name = (
+            "Original" if compressor.name == "JPEG (QF=100)" else compressor.name
+        )
+        return (
+            method_name,
+            compressed_test.total_bytes,
+            classifier.accuracy_on(compressed_test),
+            compressed_test.bytes_per_image,
+            compressed_test.mean_psnr,
+        )
+
+    def cell_to_payload(self, value: tuple) -> list:
+        return list(value)
+
+    def cell_from_payload(self, payload: list) -> tuple:
+        return tuple(payload)
+
+    def assemble(
+        self, ctx: api.RunContext, results: list, scalars: dict
+    ) -> Fig7Result:
+        result = Fig7Result()
+        reference_bytes = results[0][1] if results else 0
+        for method_name, total_bytes, accuracy, bytes_per_image, mean_psnr in (
+            results
+        ):
+            result.entries.append(
+                Fig7Entry(
+                    method=method_name,
+                    compression_ratio=reference_bytes / total_bytes,
+                    accuracy=accuracy,
+                    bytes_per_image=bytes_per_image,
+                    mean_psnr=mean_psnr,
+                )
+            )
+        return result
 
 
-_STATE = TaskState(_build_state)
+api.register_experiment(Fig7Experiment.name, Fig7Experiment)
 
-
-def _candidate_cell(task: tuple) -> tuple:
-    """One candidate: compress train/test, train, evaluate.
-
-    Ships the config key plus the (small) compressor object — a fitted
-    DeepN-JPEG pipeline pickles to a few KB of table state, never image
-    arrays.  Returns the entry fields plus the candidate's absolute
-    compressed size; the caller derives the relative compression rate
-    against the first candidate once all sizes are in.
-    """
-    key, compressor = task
-    state = _STATE.get(key)
-    compressed_train = compressor.compress_dataset(state["train_dataset"])
-    compressed_test = compressor.compress_dataset(state["test_dataset"])
-    classifier = train_classifier(compressed_train, key)
-    method_name = (
-        "Original" if compressor.name == "JPEG (QF=100)" else compressor.name
-    )
-    return (
-        method_name,
-        compressed_test.total_bytes,
-        classifier.accuracy_on(compressed_test),
-        compressed_test.bytes_per_image,
-        compressed_test.mean_psnr,
-    )
+#: The shared worker-state memo (historical name, see the parallel tests).
+_STATE = api._STATE
 
 
 def run(
@@ -149,58 +226,14 @@ def run(
 ) -> Fig7Result:
     """Reproduce the Fig. 7 comparison.
 
-    With ``config.workers > 1`` every candidate compressor is an
-    independent pool task.  The compression rate is relative to the
-    first candidate (Original), so the ratios are assembled after the
-    map from each task's absolute byte count — the identical numbers
-    the serial loop produced in place.
-
-    With ``store`` every candidate cell — addressed by the candidate's
-    codec ``spec()``, which for DeepN-JPEG embeds the fitted tables —
-    resumes from the content-addressed artifact store, and the fitted
-    design itself is cached (:func:`fitted_pipeline`); a fully warm
-    store returns without generating datasets, fitting, compressing or
-    training anything.
+    A thin shim over the declarative :class:`Fig7Experiment`: every
+    candidate cell — addressed by its codec ``spec()``, which for
+    DeepN-JPEG embeds the fitted tables — resumes from the store, the
+    fitted design itself is cached (:func:`fitted_pipeline`), and the
+    candidate grid shards over ``config.workers`` processes.
     """
-    config = config if config is not None else ExperimentConfig.small()
-    key = config.task_key()
-    if deepn_config is None:
-        deepn_config = derive_design_config(config, anchors=anchors, store=store)
-    deepn = fitted_pipeline(
-        config, deepn_config,
-        lambda: _STATE.get(key)["train_dataset"], store=store,
+    return api.run_experiment(
+        Fig7Experiment(), config, store=store,
+        deepn_config=deepn_config, anchors=anchors,
+        rmhf_components=rmhf_components, sameq_steps=sameq_steps,
     )
-
-    compressors = candidate_compressors(deepn, rmhf_components, sameq_steps)
-    cells = [{"codec": compressor.spec()} for compressor in compressors]
-    cache = SweepCache(
-        store, "fig7", config, from_payload=tuple, to_payload=list
-    )
-    cached = cache.lookup_many(cells)
-    try:
-        if all_cached(cached):
-            rows = cached
-        else:
-            _STATE.get(key)
-            tasks = [(key, compressor) for compressor in compressors]
-            rows = map_tasks_resumable(
-                _candidate_cell, tasks, cached,
-                workers=config.workers, on_result=cache.recorder(cells),
-            )
-    finally:
-        # Release the datasets after the sweep (the memo may also have
-        # been populated by a cold fit above).
-        _STATE.clear()
-    result = Fig7Result()
-    reference_bytes = rows[0][1] if rows else 0
-    for method_name, total_bytes, accuracy, bytes_per_image, mean_psnr in rows:
-        result.entries.append(
-            Fig7Entry(
-                method=method_name,
-                compression_ratio=reference_bytes / total_bytes,
-                accuracy=accuracy,
-                bytes_per_image=bytes_per_image,
-                mean_psnr=mean_psnr,
-            )
-        )
-    return result

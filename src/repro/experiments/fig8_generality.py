@@ -6,6 +6,11 @@ dataset compressed by each candidate: Original (QF=100), DeepN-JPEG, and
 quality-factor-scaled JPEG at QF=80 and QF=50.  The paper's claim is that
 DeepN-JPEG maintains the original accuracy for every architecture while
 the aggressive QF-scaled JPEG does not, at a comparable compression rate.
+
+Declared on :mod:`repro.experiments.api` as a ``model`` × ``method``
+grid whose shared state (the four candidate compressions) is seeded by
+the parent process — it depends on the fitted design, so cold workers
+never rebuild it.
 """
 
 from __future__ import annotations
@@ -14,6 +19,7 @@ from dataclasses import asdict, dataclass, field
 from typing import Optional
 
 from repro.core.baselines import JpegCompressor
+from repro.experiments import api
 from repro.experiments.common import (
     ExperimentConfig,
     format_table,
@@ -22,13 +28,14 @@ from repro.experiments.common import (
     train_classifier,
 )
 from repro.experiments.design_flow import derive_design_config, fitted_pipeline
-from repro.experiments.store import ArtifactStore, SweepCache, all_cached
-from repro.runtime.executor import TaskState, map_tasks_resumable
+from repro.experiments.store import ArtifactStore
 
 #: Models evaluated in the paper's Fig. 8.
 FIG8_MODELS = ("GoogLeNet", "VGG-16", "ResNet-34", "ResNet-50")
 #: Compression candidates evaluated per model.
 FIG8_METHODS = ("Original", "DeepN-JPEG", "JPEG (QF=80)", "JPEG (QF=50)")
+#: Table columns (shared by the result table and the CLI --json payload).
+FIG8_HEADERS = ["Model", "Method", "Top-1 accuracy", "CR (vs Original)"]
 
 
 @dataclass(frozen=True)
@@ -54,10 +61,7 @@ class Fig8Result:
         ]
 
     def format_table(self) -> str:
-        return format_table(
-            ["Model", "Method", "Top-1 accuracy", "CR (vs Original)"],
-            self.rows(),
-        )
+        return format_table(FIG8_HEADERS, self.rows())
 
     def accuracy(self, model: str, method: str) -> float:
         """Accuracy of one (model, method) pair."""
@@ -79,45 +83,126 @@ class Fig8Result:
         return seen
 
 
-def _unbuildable_state(key) -> dict:
-    """Fig. 8 state is always seeded by :func:`run` before the pool opens.
+class Fig8Experiment(api.Experiment):
+    """The cross-architecture generality grid as a declarative experiment."""
 
-    The compressed datasets depend on the (possibly caller-supplied)
-    DeepN-JPEG design, so a cold worker cannot reconstruct them from the
-    config alone — and never needs to: parallelism only runs over fork,
-    which inherits the parent's warm memo.
-    """
-    raise RuntimeError(
-        "Fig. 8 worker state must be inherited from the parent process; "
-        "a cold rebuild indicates a non-fork platform"
-    )
+    name = "fig8"
+    title = "Generality across DNN architectures (model × method grid)"
+    headers = FIG8_HEADERS
+    defaults = {
+        "model_names": FIG8_MODELS,
+        "deepn_config": None,
+        "anchors": None,
+        "epochs": None,
+    }
+
+    def prepare(self, ctx: api.RunContext) -> None:
+        splits: "list" = []
+
+        def _train_dataset():
+            if not splits:
+                splits.extend(make_splits(ctx.config))
+            return splits[0]
+
+        deepn_config = ctx.params["deepn_config"]
+        if deepn_config is None:
+            deepn_config = derive_design_config(
+                ctx.config, anchors=ctx.params["anchors"], store=ctx.store
+            )
+        deepn = fitted_pipeline(
+            ctx.config, deepn_config, _train_dataset, store=ctx.store
+        )
+        candidates = {
+            "Original": JpegCompressor(100),
+            "DeepN-JPEG": deepn,
+            "JPEG (QF=80)": JpegCompressor(80),
+            "JPEG (QF=50)": JpegCompressor(50),
+        }
+        ctx.derived["deepn"] = deepn
+        ctx.derived["candidates"] = candidates
+        ctx.derived["splits"] = splits
+
+    def axes(self, ctx: api.RunContext) -> "list[api.Axis]":
+        candidates = ctx.derived["candidates"]
+        methods = [
+            method for method in FIG8_METHODS if method in candidates
+        ]
+        return [
+            api.Axis("model", tuple(ctx.params["model_names"])),
+            api.Axis("method", tuple(methods)),
+        ]
+
+    def cell_identity(self, ctx: api.RunContext, point: dict) -> dict:
+        return {
+            "model": point["model"],
+            "method": point["method"],
+            "epochs": ctx.params["epochs"],
+            "codec": ctx.derived["candidates"][point["method"]].spec(),
+        }
+
+    def state_key(self, ctx: api.RunContext):
+        return (ctx.config.task_key(), id(ctx.derived["deepn"]))
+
+    def setup_state(self, ctx: api.RunContext) -> dict:
+        """Compress the splits with every candidate and seed the memo.
+
+        The compressed datasets depend on the (possibly caller-supplied)
+        DeepN-JPEG design, so a cold worker cannot reconstruct them from
+        the config alone — and never needs to: parallelism only runs
+        over fork, which inherits the parent's warm memo.
+        """
+        splits = ctx.derived["splits"]
+        if not splits:
+            splits.extend(make_splits(ctx.config))
+        train_dataset, test_dataset = splits
+        compressed = {}
+        for method, compressor in ctx.derived["candidates"].items():
+            compressed[method] = (
+                compressor.compress_dataset(train_dataset),
+                compressor.compress_dataset(test_dataset),
+            )
+        return {"config": ctx.config.task_key(), "compressed": compressed}
+
+    def build_state(self, key) -> dict:
+        raise RuntimeError(
+            "Fig. 8 worker state must be inherited from the parent process; "
+            "a cold rebuild indicates a non-fork platform"
+        )
+
+    def compute_cell(self, key, state, cell: dict, extra) -> Fig8Entry:
+        """One (model, method) grid point: train and evaluate one classifier."""
+        compressed_train, compressed_test = state["compressed"][cell["method"]]
+        classifier = train_classifier(
+            compressed_train, state["config"], model_name=cell["model"],
+            epochs=cell["epochs"],
+        )
+        return Fig8Entry(
+            model=cell["model"],
+            method=cell["method"],
+            accuracy=classifier.accuracy_on(compressed_test),
+            compression_ratio=relative_compression_rate(
+                compressed_test, state["compressed"]["Original"][1]
+            ),
+        )
+
+    def cell_to_payload(self, value: Fig8Entry) -> dict:
+        return asdict(value)
+
+    def cell_from_payload(self, payload: dict) -> Fig8Entry:
+        return Fig8Entry(**payload)
+
+    def assemble(
+        self, ctx: api.RunContext, results: list, scalars: dict
+    ) -> Fig8Result:
+        result = Fig8Result()
+        result.entries.extend(results)
+        return result
 
 
-_STATE = TaskState(_unbuildable_state)
+api.register_experiment(Fig8Experiment.name, Fig8Experiment)
 
-
-def _training_cell(task: tuple) -> Fig8Entry:
-    """One (model, method) grid point: train and evaluate one classifier.
-
-    Ships the config key, the cell coordinates and the training-epoch
-    override; the compressed datasets come from the process-local
-    :data:`_STATE` memo seeded by :func:`run`.
-    """
-    key, model_name, method, epochs = task
-    state = _STATE.get(key)
-    compressed_train, compressed_test = state["compressed"][method]
-    classifier = train_classifier(
-        compressed_train, state["config"], model_name=model_name,
-        epochs=epochs,
-    )
-    return Fig8Entry(
-        model=model_name,
-        method=method,
-        accuracy=classifier.accuracy_on(compressed_test),
-        compression_ratio=relative_compression_rate(
-            compressed_test, state["compressed"]["Original"][1]
-        ),
-    )
+#: The shared worker-state memo (historical name, see the parallel tests).
+_STATE = api._STATE
 
 
 def run(
@@ -130,79 +215,14 @@ def run(
 ) -> Fig8Result:
     """Reproduce the Fig. 8 generality comparison.
 
-    With ``config.workers > 1`` every (model, method) pair — the
-    dominant per-cell cost, one classifier training run — is an
-    independent pool task; the four candidate compressions are computed
-    once up front and shared with the workers.  Results are identical
-    to the serial run.
-
-    With ``store`` every (model, method) cell — addressed by the
-    candidate's codec ``spec()`` — resumes from the content-addressed
-    artifact store, and the fitted design itself is cached
-    (:func:`fitted_pipeline`); a fully warm store skips dataset
-    generation, the fit, the four candidate compressions and all
-    training runs.
+    A thin shim over the declarative :class:`Fig8Experiment`: every
+    (model, method) cell — the dominant per-cell cost, one classifier
+    training run — shards over ``config.workers`` and resumes from the
+    store (addressed by the candidate's codec ``spec()``); the four
+    candidate compressions are computed once up front and fork-inherited.
     """
-    config = config if config is not None else ExperimentConfig.small()
-    splits: "list" = []
-
-    def _train_dataset():
-        if not splits:
-            splits.extend(make_splits(config))
-        return splits[0]
-
-    if deepn_config is None:
-        deepn_config = derive_design_config(config, anchors=anchors, store=store)
-    deepn = fitted_pipeline(config, deepn_config, _train_dataset, store=store)
-
-    candidates = {
-        "Original": JpegCompressor(100),
-        "DeepN-JPEG": deepn,
-        "JPEG (QF=80)": JpegCompressor(80),
-        "JPEG (QF=50)": JpegCompressor(50),
-    }
-    methods = [method for method in FIG8_METHODS if method in candidates]
-    cells = [
-        {
-            "model": model_name,
-            "method": method,
-            "epochs": epochs,
-            "codec": candidates[method].spec(),
-        }
-        for model_name in model_names
-        for method in methods
-    ]
-    cache = SweepCache(
-        store, "fig8", config,
-        from_payload=lambda payload: Fig8Entry(**payload),
-        to_payload=asdict,
+    return api.run_experiment(
+        Fig8Experiment(), config, store=store,
+        model_names=model_names, deepn_config=deepn_config,
+        anchors=anchors, epochs=epochs,
     )
-    cached = cache.lookup_many(cells)
-    result = Fig8Result()
-    if all_cached(cached):
-        result.entries.extend(cached)
-        return result
-
-    train_dataset = _train_dataset()
-    test_dataset = splits[1]
-    compressed = {}
-    for method, compressor in candidates.items():
-        compressed[method] = (
-            compressor.compress_dataset(train_dataset),
-            compressor.compress_dataset(test_dataset),
-        )
-
-    key = (config.task_key(), id(deepn))
-    _STATE.seed(key, {"config": config.task_key(), "compressed": compressed})
-    tasks = [(key, cell["model"], cell["method"], epochs) for cell in cells]
-    try:
-        result.entries.extend(
-            map_tasks_resumable(
-                _training_cell, tasks, cached,
-                workers=config.workers, on_result=cache.recorder(cells),
-            )
-        )
-    finally:
-        # Release all eight compressed train/test datasets after the grid.
-        _STATE.clear()
-    return result

@@ -21,10 +21,13 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import logging
 import os
 from typing import Optional
 
 from repro.runtime.executor import CACHE_MISS
+
+logger = logging.getLogger(__name__)
 
 
 def canonical_json(payload) -> str:
@@ -80,12 +83,26 @@ class ArtifactStore:
         return os.path.exists(self._path(key))
 
     def get(self, key: str):
-        """The stored payload for ``key``, or ``None`` (counted as a miss)."""
+        """The stored payload for ``key``, or ``None`` (counted as a miss).
+
+        A corrupted or truncated artifact file (a crashed writer on a
+        filesystem without atomic rename, manual tampering) is treated
+        as a miss rather than an error: the sweep recomputes the cell
+        and :meth:`put` atomically overwrites the poisoned file.
+        """
         path = self._path(key)
         try:
             with open(path, "r", encoding="utf-8") as handle:
                 value = json.load(handle)
         except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            logger.warning(
+                "artifact %s is corrupted (%s); treating it as a cache "
+                "miss, the cell will be recomputed and overwritten",
+                path, error,
+            )
             self.misses += 1
             return None
         self.hits += 1
@@ -144,11 +161,25 @@ class SweepCache:
         """The decoded cached entry for ``cell``, or :data:`CACHE_MISS`."""
         if self.store is None:
             return CACHE_MISS
-        payload = self.store.get(self.key(cell))
+        key = self.key(cell)
+        payload = self.store.get(key)
         if payload is None:
             return CACHE_MISS
         # Entries are stored wrapped ({"value": ...}) so a legitimately
-        # null payload stays distinguishable from a missing artifact.
+        # null payload stays distinguishable from a missing artifact.  A
+        # valid-JSON artifact without the wrapper is tampering the JSON
+        # decoder cannot catch: demote the hit to a miss so the cell is
+        # recomputed and overwritten, like any other corruption.
+        if not isinstance(payload, dict) or "value" not in payload:
+            logger.warning(
+                "artifact %s is valid JSON but not a wrapped sweep entry; "
+                "treating it as a cache miss, the cell will be recomputed "
+                "and overwritten",
+                key,
+            )
+            self.store.hits -= 1
+            self.store.misses += 1
+            return CACHE_MISS
         return self._from_payload(payload["value"])
 
     def lookup_many(self, cells: "list[dict]") -> list:

@@ -133,6 +133,7 @@ def map_tasks(
     tasks,
     workers: int = 1,
     chunksize: int = None,
+    on_result=None,
 ) -> list:
     """Map ``function`` over ``tasks``, serially or through a process pool.
 
@@ -146,16 +147,33 @@ def map_tasks(
 
     ``function`` must be picklable (a module-level function) when a pool
     is used; each element of ``tasks`` is passed as its single argument.
+
+    ``on_result`` — when given — is called as ``on_result(index, result)``
+    for every completed task, in task order; the experiment layer hooks
+    progress reporting into it.
     """
     tasks = list(tasks)
     count = effective_workers(workers, task_count=len(tasks))
     if count <= 1 or len(tasks) <= 1 or not fork_available():
-        return [function(task) for task in tasks]
+        results = []
+        for index, task in enumerate(tasks):
+            value = function(task)
+            if on_result is not None:
+                on_result(index, value)
+            results.append(value)
+        return results
     if chunksize is None:
         chunksize = default_chunksize(len(tasks), count)
     context = multiprocessing.get_context("fork")
     with ProcessPoolExecutor(max_workers=count, mp_context=context) as pool:
-        return list(pool.map(function, tasks, chunksize=chunksize))
+        results = []
+        for index, value in enumerate(
+            pool.map(function, tasks, chunksize=chunksize)
+        ):
+            if on_result is not None:
+                on_result(index, value)
+            results.append(value)
+        return results
 
 
 #: Sentinel marking a task with no cached result in

@@ -122,6 +122,22 @@ class TestMapTasks:
         # The next pool works: one bad sweep never wedges the runtime.
         assert map_tasks(_square, range(5), workers=2) == [0, 1, 4, 9, 16]
 
+    def test_on_result_fires_in_order_serial(self):
+        seen = []
+        map_tasks(
+            _square, range(4), workers=1,
+            on_result=lambda index, value: seen.append((index, value)),
+        )
+        assert seen == [(0, 0), (1, 1), (2, 4), (3, 9)]
+
+    def test_on_result_fires_in_order_parallel(self):
+        seen = []
+        map_tasks(
+            _square, range(9), workers=3,
+            on_result=lambda index, value: seen.append((index, value)),
+        )
+        assert seen == [(index, index * index) for index in range(9)]
+
 
 class TestImapTasks:
     def test_serial_yields_in_order(self):
