@@ -26,21 +26,31 @@ DIR: an interrupted or repeated invocation with the same configuration
 resumes from the completed cells instead of recomputing them (at the
 same scale a fully warm store replays all seven figures in seconds).
 
+``--on-error collect --retries 2 --task-timeout 600`` engages the
+supervised fault-tolerant runtime (:mod:`repro.runtime.supervision`):
+failed cells retry with the same task payload (recovered sweeps are
+bit-identical), hung workers are killed at the timeout, and under
+``collect`` every healthy cell persists before the failure report — so
+an overnight full-scale run survives flaky cells and a re-run finishes
+only what's missing.
+
 Run with::
 
     python examples/reproduce_paper.py --scale small --workers 4 \
-        --artifacts-dir artifacts/
+        --artifacts-dir artifacts/ --on-error collect --retries 2
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 import tempfile
 import time
 
 from repro.cli import SCALES
 from repro.experiments import ArtifactStore
 from repro.experiments.api import (
+    SweepFailure,
     build_experiment,
     experiment_names,
     run_experiment,
@@ -80,9 +90,28 @@ def main() -> None:
         "session store is used when omitted, so the figures still share "
         "the fitted design and the embedded Fig. 5 sweeps)",
     )
+    parser.add_argument(
+        "--on-error", choices=("fail-fast", "retry", "collect"),
+        default="fail-fast",
+        help="failure policy per grid cell: fail-fast aborts on the first "
+        "failure, retry re-runs failed cells up to --retries times, "
+        "collect additionally finishes every healthy cell before failing",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=2,
+        help="retry budget per cell under --on-error retry|collect",
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None,
+        help="per-cell timeout in seconds; a hung worker is killed and "
+        "the cell charged a failed attempt",
+    )
     arguments = parser.parse_args()
     config = SCALES[arguments.scale]().with_overrides(
-        workers=arguments.workers
+        workers=arguments.workers,
+        on_error=arguments.on_error,
+        retries=arguments.retries,
+        task_timeout=arguments.task_timeout,
     )
     artifacts_dir = arguments.artifacts_dir
     session_store = None
@@ -118,9 +147,16 @@ def main() -> None:
                 ] = deepn_config
             experiment = build_experiment(name)
             _banner(f"{name} — {experiment.title}")
-            result = run_experiment(
-                experiment, config, store=store, **params_by_name.get(name, {})
-            )
+            try:
+                result = run_experiment(
+                    experiment, config, store=store,
+                    **params_by_name.get(name, {}),
+                )
+            except SweepFailure as failure:
+                # Healthy cells are already persisted (under collect);
+                # re-running the same command finishes only the failures.
+                print(f"error: {failure.report()}", file=sys.stderr)
+                sys.exit(3)
             print(experiment.report(result))
             if name == "fig6":
                 deepn_config = derive_design_config(

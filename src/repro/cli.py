@@ -10,7 +10,14 @@ Three subcommands over the experiment registry
     :class:`~repro.experiments.common.ExperimentConfig` preset,
     ``--workers`` shards the grid, ``--artifacts-dir`` caches/resumes
     grid cells, ``--progress`` streams cell completion, ``--json`` emits
-    a machine-readable result instead of the table.
+    a machine-readable result instead of the table.  ``--on-error``,
+    ``--retries`` and ``--task-timeout`` engage the fault-tolerant
+    runtime (:mod:`repro.runtime.supervision`): failed cells retry with
+    the same task payload (recovered runs are bit-identical), hung cells
+    are killed at the timeout, and under ``--on-error collect`` every
+    healthy cell completes and persists before the run exits non-zero
+    with a report naming the failed cells (exit status 3).  Ctrl-C
+    exits with status 130 after printing how to resume.
 ``replay <name>``
     Re-run against a warm artifact store and *fail* unless every cell
     was served from cache — the smoke check that a previous ``run``
@@ -20,6 +27,8 @@ Examples::
 
     python -m repro list
     python -m repro run fig5 --scale tiny --workers 2 --artifacts-dir store/
+    python -m repro run fig5 --scale tiny --workers 2 --artifacts-dir store/ \
+        --on-error collect --retries 2 --task-timeout 600
     python -m repro replay fig5 --scale tiny --workers 2 --artifacts-dir store/
 """
 
@@ -34,8 +43,18 @@ import time
 from typing import Optional
 
 from repro.experiments import ExperimentConfig
-from repro.experiments.api import build_experiment, experiment_names, run_experiment
+from repro.experiments.api import (
+    SweepFailure,
+    build_experiment,
+    experiment_names,
+    run_experiment,
+)
 from repro.experiments.store import ArtifactStore
+
+#: Exit statuses beyond 0/1: argparse-style usage errors are 2, a sweep
+#: with failed cells is 3, an interrupted run is 128+SIGINT = 130.
+EXIT_SWEEP_FAILURE = 3
+EXIT_INTERRUPTED = 130
 
 #: Named experiment scales — the ExperimentConfig presets (micro is the
 #: test-suite / golden-fixture scale).
@@ -84,6 +103,25 @@ def build_parser() -> argparse.ArgumentParser:
             + (" (required for replay)" if command == "replay" else ""),
         )
         sub.add_argument(
+            "--on-error", choices=("fail-fast", "retry", "collect"),
+            default=None, dest="on_error",
+            help="sweep error policy: fail-fast aborts on the first "
+            "failure (default), retry re-runs failed cells, collect "
+            "retries then finishes every healthy cell before reporting "
+            "the failures and exiting with status 3",
+        )
+        sub.add_argument(
+            "--retries", type=int, default=None,
+            help="extra attempts per failed cell under retry/collect "
+            "(default 2); retried cells re-run the same task payload, so "
+            "recovered runs are bit-identical",
+        )
+        sub.add_argument(
+            "--task-timeout", type=float, default=None, dest="task_timeout",
+            help="per-cell wall-clock budget in seconds; a cell past it "
+            "is killed and handled under the error policy",
+        )
+        sub.add_argument(
             "--json", action="store_true", dest="as_json",
             help="emit the result as JSON on stdout instead of a table",
         )
@@ -103,15 +141,43 @@ def _progress_printer(name: str):
     return progress
 
 
+def _resume_hint(arguments: argparse.Namespace) -> str:
+    """The command that resumes an interrupted or partly failed run."""
+    command = (
+        f"python -m repro run {arguments.experiment} "
+        f"--scale {arguments.scale}"
+    )
+    if arguments.workers != 1:
+        command += f" --workers {arguments.workers}"
+    if arguments.artifacts_dir:
+        command += f" --artifacts-dir {arguments.artifacts_dir}"
+        return (
+            f"completed cells are persisted; resume with: {command}"
+        )
+    return (
+        f"no --artifacts-dir was given, so completed cells were not "
+        f"persisted; re-run (ideally with --artifacts-dir): {command}"
+    )
+
+
 def _run(arguments: argparse.Namespace) -> int:
     try:
         experiment = build_experiment(arguments.experiment)
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
         return 2
-    config = SCALES[arguments.scale]().with_overrides(
-        workers=arguments.workers
-    )
+    overrides = {"workers": arguments.workers}
+    if arguments.on_error is not None:
+        overrides["on_error"] = arguments.on_error
+    if arguments.retries is not None:
+        overrides["retries"] = arguments.retries
+    if arguments.task_timeout is not None:
+        overrides["task_timeout"] = arguments.task_timeout
+    try:
+        config = SCALES[arguments.scale]().with_overrides(**overrides)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     store = (
         ArtifactStore(arguments.artifacts_dir)
         if arguments.artifacts_dir else None
@@ -120,7 +186,22 @@ def _run(arguments: argparse.Namespace) -> int:
         _progress_printer(experiment.name) if arguments.progress else None
     )
     started = time.time()
-    result = run_experiment(experiment, config, store=store, progress=progress)
+    try:
+        result = run_experiment(
+            experiment, config, store=store, progress=progress
+        )
+    except SweepFailure as failure:
+        print(f"error: {failure.report()}", file=sys.stderr)
+        print(_resume_hint(arguments), file=sys.stderr)
+        return EXIT_SWEEP_FAILURE
+    except KeyboardInterrupt:
+        print(
+            f"\ninterrupted: {experiment.name!r} stopped before the sweep "
+            f"finished",
+            file=sys.stderr,
+        )
+        print(_resume_hint(arguments), file=sys.stderr)
+        return EXIT_INTERRUPTED
     elapsed = time.time() - started
 
     if arguments.command == "replay" and store.misses:

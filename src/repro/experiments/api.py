@@ -53,6 +53,48 @@ from repro.runtime.executor import (
     TaskState,
     map_tasks_resumable,
 )
+from repro.runtime.supervision import TaskError, TaskFailure
+
+
+class SweepFailure(RuntimeError):
+    """One or more sweep cells failed under the supervised runtime.
+
+    Raised by :func:`run_experiment` when the configured error policy
+    exhausts its retries: under ``on_error="collect"`` every healthy
+    cell has already completed (and persisted, when a store is bound)
+    before this is raised; under ``"fail-fast"``/``"retry"`` it wraps
+    the first exhausted cell.  ``failures`` is an ordered list of
+    ``(cell, TaskFailure)`` pairs — the JSON-able cell identity plus the
+    supervision envelope — and :meth:`report` renders the human-readable
+    summary the CLI prints before exiting non-zero.
+    """
+
+    def __init__(
+        self,
+        experiment: str,
+        failures: "list[tuple[dict, TaskFailure]]",
+        total: int,
+    ) -> None:
+        self.experiment = experiment
+        self.failures = list(failures)
+        self.total = total
+        super().__init__(
+            f"experiment {experiment!r}: {len(self.failures)} of {total} "
+            f"cell(s) failed"
+        )
+
+    def report(self) -> str:
+        """A failure report naming every failed cell."""
+        lines = [
+            f"experiment {self.experiment!r}: {len(self.failures)} of "
+            f"{self.total} cell(s) failed"
+        ]
+        for cell, failure in self.failures:
+            lines.append(
+                f"  cell {cell!r}: {failure.error_type}: {failure.message} "
+                f"[{failure.kind}, {failure.attempts} attempt(s)]"
+            )
+        return "\n".join(lines)
 
 
 @dataclass(frozen=True)
@@ -379,6 +421,12 @@ def run_experiment(
 
     ``progress`` — when given — is called as ``progress(done, total)``
     once up front (counting cached cells) and after every fresh cell.
+
+    When ``config.on_error``/``config.task_timeout`` engage the
+    supervised runtime and a cell exhausts its attempts, the run raises
+    :class:`SweepFailure` naming the failed cell(s); under
+    ``on_error="collect"`` every healthy cell still completes and
+    persists first, so a follow-up run recomputes only the failures.
     """
     config = config if config is not None else ExperimentConfig.small()
     if not experiment.name:
@@ -455,10 +503,36 @@ def run_experiment(
             (experiment.name, key, cell, experiment.task_extra(ctx, i, cell))
             for i, cell in enumerate(cells)
         ]
-        results = map_tasks_resumable(
-            _compute_cell, tasks, cached,
-            workers=config.workers, on_result=on_result,
+        # Supervision engages when any fault-tolerance knob departs from
+        # the default; plain fail-fast with no timeout keeps the legacy
+        # fast path (bit-identical chunked dispatch, raw propagation).
+        supervised = (
+            config.on_error != "fail-fast" or config.task_timeout is not None
         )
+        try:
+            results = map_tasks_resumable(
+                _compute_cell, tasks, cached,
+                workers=config.workers, on_result=on_result,
+                policy=config.on_error if supervised else None,
+                retries=config.retries,
+                task_timeout=config.task_timeout,
+            )
+        except TaskError as error:
+            failure = error.failure
+            raise SweepFailure(
+                experiment.name,
+                [(cells[failure.index], failure)],
+                total=len(cells),
+            ) from error
+        failed = [
+            (cells[i], value)
+            for i, value in enumerate(results)
+            if isinstance(value, TaskFailure)
+        ]
+        if failed:
+            # ``collect``: every healthy cell has completed and persisted
+            # by now; surface the failed ones as one report.
+            raise SweepFailure(experiment.name, failed, total=len(cells))
     finally:
         if previous is None:
             _REGISTRY.pop(experiment.name, None)

@@ -46,6 +46,19 @@ class ExperimentConfig:
         this process (bit-identical to the historical behaviour), ``N``
         shards the sweep grid over ``N`` processes, ``0`` uses every
         available CPU.  Results are identical for any worker count.
+    on_error / retries / task_timeout:
+        Fault-tolerance policy of the sweep runtime.  ``on_error`` is
+        one of ``"fail-fast"`` (the default: first failure aborts the
+        sweep, no retries), ``"retry"`` (failed cells are re-run up to
+        ``retries`` times before the sweep aborts) or ``"collect"``
+        (failed cells are retried, then collected into a failure report
+        while every healthy cell still completes and persists).
+        ``task_timeout`` bounds a single cell's wall-clock seconds; a
+        cell past its deadline is killed and handled under the policy.
+        Because a retried cell re-runs the exact same task payload,
+        recovered sweeps are bit-identical to fault-free ones — none of
+        these knobs influence results, so ``task_key()`` normalises
+        them all away.
     """
 
     images_per_class: int = 30
@@ -62,6 +75,9 @@ class ExperimentConfig:
     model_seed: int = 0
     sampling_interval: int = 2
     workers: int = 1
+    on_error: str = "fail-fast"
+    retries: int = 2
+    task_timeout: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.images_per_class < 4:
@@ -77,6 +93,15 @@ class ExperimentConfig:
             )
         if self.workers < 0:
             raise ValueError("workers must be non-negative")
+        if self.on_error not in ("fail-fast", "retry", "collect"):
+            raise ValueError(
+                f"on_error must be 'fail-fast', 'retry' or 'collect', "
+                f"got {self.on_error!r}"
+            )
+        if self.retries < 0:
+            raise ValueError("retries must be non-negative")
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ValueError("task_timeout must be positive (or None)")
 
     @classmethod
     def micro(cls) -> "ExperimentConfig":
@@ -122,12 +147,20 @@ class ExperimentConfig:
     def task_key(self) -> "ExperimentConfig":
         """The worker-state key this configuration implies.
 
-        Identical to the config except that ``workers`` is normalised to
-        1: the parallel runtime must never influence the data, model or
-        seeds a worker reconstructs, and a worker never re-parallelises
-        its own task.
+        Identical to the config except that every runtime knob —
+        ``workers`` and the fault-tolerance policy — is normalised to
+        its default: the parallel runtime must never influence the
+        data, model or seeds a worker reconstructs (and so never the
+        store address either), and a worker never re-parallelises its
+        own task.
         """
-        return replace(self, workers=1)
+        return replace(
+            self,
+            workers=1,
+            on_error="fail-fast",
+            retries=2,
+            task_timeout=None,
+        )
 
     def freqnet_config(self) -> FreqNetConfig:
         """The FreqNet generator configuration implied by this experiment."""

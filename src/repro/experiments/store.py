@@ -30,6 +30,14 @@ from repro.runtime.executor import CACHE_MISS
 logger = logging.getLogger(__name__)
 
 
+class ArtifactStoreError(RuntimeError):
+    """A store write failed (disk full, permissions, unserialisable payload).
+
+    Raised by :meth:`ArtifactStore.put` after cleaning up its temp file;
+    the original exception rides along as ``__cause__``.
+    """
+
+
 def canonical_json(payload) -> str:
     """Deterministic JSON: sorted keys, no whitespace."""
     return json.dumps(
@@ -109,14 +117,32 @@ class ArtifactStore:
         return value
 
     def put(self, key: str, payload) -> None:
-        """Atomically persist ``payload`` (any JSON-able value) at ``key``."""
+        """Atomically persist ``payload`` (any JSON-able value) at ``key``.
+
+        On any failure — an unserialisable payload, a full disk, a
+        permission error on the rename — the temp file is removed so a
+        failed write never litters the store, and the failure surfaces
+        as an :class:`ArtifactStoreError` naming the key and path, with
+        the original exception chained as its cause.  The final artifact
+        path is only ever produced by a completed ``os.replace``, so a
+        failed put leaves the store exactly as it was.
+        """
         path = self._path(key)
-        os.makedirs(os.path.dirname(path), exist_ok=True)
         temporary = f"{path}.{os.getpid()}.tmp"
-        with open(temporary, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, sort_keys=True)
-            handle.write("\n")
-        os.replace(temporary, path)
+        try:
+            os.makedirs(os.path.dirname(path), exist_ok=True)
+            with open(temporary, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True)
+                handle.write("\n")
+            os.replace(temporary, path)
+        except Exception as error:
+            try:
+                os.remove(temporary)
+            except OSError:
+                pass
+            raise ArtifactStoreError(
+                f"failed to persist artifact {key} at {path}: {error}"
+            ) from error
 
     def __len__(self) -> int:
         count = 0

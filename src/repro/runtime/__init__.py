@@ -6,6 +6,14 @@
 compression entry points in :mod:`repro.core.baselines` and every
 ``fig*`` experiment sweep: deterministic task sharding with a serial
 fallback that is bit-identical to the historical single-process loops.
+
+:mod:`repro.runtime.supervision` layers fault tolerance on top — per-task
+:class:`~repro.runtime.supervision.TaskFailure` envelopes, bounded
+deterministic retries, per-task timeouts with a hung-worker watchdog and
+broken-pool recovery — engaged through the ``policy``/``retries``/
+``task_timeout`` knobs of the executor maps.
+:mod:`repro.runtime.faults` is the matching deterministic fault-injection
+harness the chaos tests drive.
 """
 
 from repro.runtime.executor import (
@@ -21,9 +29,20 @@ from repro.runtime.executor import (
     map_tasks_resumable,
     spawn_seeds,
 )
+from repro.runtime.supervision import (
+    POLICIES,
+    TaskError,
+    TaskFailure,
+    supervise,
+    supervised_imap,
+    supervised_map,
+)
 
 __all__ = [
     "CACHE_MISS",
+    "POLICIES",
+    "TaskError",
+    "TaskFailure",
     "TaskState",
     "available_workers",
     "chunk_bounds",
@@ -34,4 +53,7 @@ __all__ = [
     "map_tasks",
     "map_tasks_resumable",
     "spawn_seeds",
+    "supervise",
+    "supervised_imap",
+    "supervised_map",
 ]

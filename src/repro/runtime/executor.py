@@ -134,6 +134,10 @@ def map_tasks(
     workers: int = 1,
     chunksize: int = None,
     on_result=None,
+    policy: str = None,
+    retries: int = 2,
+    task_timeout: float = None,
+    retry_backoff: float = 0.0,
 ) -> list:
     """Map ``function`` over ``tasks``, serially or through a process pool.
 
@@ -151,8 +155,28 @@ def map_tasks(
     ``on_result`` — when given — is called as ``on_result(index, result)``
     for every completed task, in task order; the experiment layer hooks
     progress reporting into it.
+
+    ``policy``/``retries``/``task_timeout``/``retry_backoff`` engage the
+    supervised runtime (:mod:`repro.runtime.supervision`): per-task
+    :class:`~repro.runtime.supervision.TaskFailure` envelopes instead of
+    pool-wide propagation, bounded deterministic retries, a hung-worker
+    watchdog and broken-pool recovery.  ``policy=None`` with no
+    ``task_timeout`` (the default) is the legacy fast path above —
+    chunked dispatch, raw exception propagation — and is bit-identical
+    to the historical behaviour.  Under ``policy="collect"`` the result
+    list carries a ``TaskFailure`` in each failed slot and ``on_result``
+    never fires for failures.
     """
     tasks = list(tasks)
+    if policy is not None or task_timeout is not None:
+        from repro.runtime.supervision import supervised_map
+
+        return supervised_map(
+            function, tasks, workers=workers,
+            policy=policy if policy is not None else "fail-fast",
+            retries=retries, task_timeout=task_timeout,
+            backoff=retry_backoff, on_result=on_result,
+        )
     count = effective_workers(workers, task_count=len(tasks))
     if count <= 1 or len(tasks) <= 1 or not fork_available():
         results = []
@@ -188,6 +212,10 @@ def map_tasks_resumable(
     cached,
     workers: int = 1,
     on_result=None,
+    policy: str = None,
+    retries: int = 2,
+    task_timeout: float = None,
+    retry_backoff: float = 0.0,
 ):
     """:func:`map_tasks`, but skipping tasks that already have a result.
 
@@ -206,6 +234,15 @@ def map_tasks_resumable(
     sweep killed (or poisoned by a raising task) partway through keeps
     every already-finished cell, which is what makes an interrupted
     ``--artifacts-dir`` run resumable.
+
+    The supervision knobs (``policy``/``retries``/``task_timeout``/
+    ``retry_backoff``) behave as in :func:`map_tasks`; note that under
+    ``policy="collect"`` a failed slot holds a
+    :class:`~repro.runtime.supervision.TaskFailure` whose ``index`` is
+    rewritten to the task's *global* position (supervision only ever
+    sees the cache-missing subset), and ``on_result`` — the store
+    recorder — is never called for it: failures are not results and
+    must not be persisted.
     """
     tasks = list(tasks)
     cached = list(cached)
@@ -220,13 +257,59 @@ def map_tasks_resumable(
     ]
     results = cached
     fresh = imap_tasks(
-        function, [task for _, task in pending], workers=workers
+        function, [task for _, task in pending], workers=workers,
+        policy=policy, retries=retries, task_timeout=task_timeout,
+        retry_backoff=retry_backoff,
     )
-    for (index, _), value in zip(pending, fresh):
-        if on_result is not None:
-            on_result(index, value)
-        results[index] = value
+    try:
+        for (index, _), value in zip(pending, fresh):
+            if _is_task_failure(value):
+                import dataclasses
+
+                results[index] = dataclasses.replace(value, index=index)
+                continue
+            if on_result is not None:
+                on_result(index, value)
+            results[index] = value
+    except Exception as error:
+        _remap_task_error(error, pending)
+        raise
     return results
+
+
+def _remap_task_error(error, pending) -> None:
+    """Rewrite a raised ``TaskError``'s failure to its global task index.
+
+    Supervision only ever sees the cache-missing subset, so the envelope
+    riding an exhaustion error carries a subset-local index; callers
+    (and their users' tracebacks) must name the task's position in the
+    full list instead.  Mutates ``error`` in place; non-``TaskError``
+    exceptions pass through untouched.
+    """
+    from repro.runtime.supervision import TaskError
+
+    if not isinstance(error, TaskError):
+        return
+    import dataclasses
+
+    local = error.failure.index
+    if 0 <= local < len(pending):
+        error.failure = dataclasses.replace(
+            error.failure, index=pending[local][0]
+        )
+        error.args = (error.failure.describe(),)
+
+
+def _is_task_failure(value) -> bool:
+    """Whether ``value`` is a supervision failure envelope.
+
+    Imported lazily: :mod:`repro.runtime.supervision` imports this
+    module at import time, so the dependency must stay one-directional
+    at module scope.
+    """
+    from repro.runtime.supervision import TaskFailure
+
+    return isinstance(value, TaskFailure)
 
 
 def imap_tasks(
@@ -234,6 +317,10 @@ def imap_tasks(
     tasks,
     workers: int = 1,
     window: int = None,
+    policy: str = None,
+    retries: int = 2,
+    task_timeout: float = None,
+    retry_backoff: float = 0.0,
 ):
     """Like :func:`map_tasks`, but a generator with bounded buffering.
 
@@ -246,9 +333,21 @@ def imap_tasks(
 
     The serial fallback conditions match :func:`map_tasks`; the pool
     lives for the lifetime of the generator and is torn down when it is
-    exhausted (or closed early).
+    exhausted (or closed early).  The supervision knobs (``policy``/
+    ``retries``/``task_timeout``/``retry_backoff``) behave as in
+    :func:`map_tasks`.
     """
     tasks = list(tasks)
+    if policy is not None or task_timeout is not None:
+        from repro.runtime.supervision import supervised_imap
+
+        yield from supervised_imap(
+            function, tasks, workers=workers,
+            policy=policy if policy is not None else "fail-fast",
+            retries=retries, task_timeout=task_timeout,
+            backoff=retry_backoff, window=window,
+        )
+        return
     count = effective_workers(workers, task_count=len(tasks))
     if count <= 1 or len(tasks) <= 1 or not fork_available():
         for task in tasks:
@@ -284,12 +383,19 @@ class TaskState:
 
     Only the most recent key is cached: figure sweeps use one state for
     the whole grid, and a single slot cannot leak across scales.
+
+    The empty slot is marked by a private sentinel, not ``None`` — a
+    ``build`` that legitimately returns ``None`` is memoised like any
+    other value instead of rebuilding on every ``get``.
     """
+
+    #: Sentinel marking the empty memo slot (``None`` is a valid state).
+    _EMPTY = object()
 
     def __init__(self, build) -> None:
         self._build = build
-        self._key = None
-        self._value = None
+        self._key = self._EMPTY
+        self._value = self._EMPTY
 
     def seed(self, key, value) -> None:
         """Install parent-built state for ``key`` (pre-fork)."""
@@ -298,11 +404,15 @@ class TaskState:
 
     def get(self, key):
         """The state for ``key``, rebuilding it if the memo is cold."""
-        if self._value is None or self._key != key:
+        if self._value is self._EMPTY or self._key != key:
             self.seed(key, self._build(key))
         return self._value
 
     def clear(self) -> None:
         """Drop the cached state (used by tests)."""
-        self._key = None
-        self._value = None
+        self._key = self._EMPTY
+        self._value = self._EMPTY
+
+    def is_empty(self) -> bool:
+        """Whether the memo slot is released (no state pinned)."""
+        return self._value is self._EMPTY

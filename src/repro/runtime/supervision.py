@@ -1,0 +1,673 @@
+"""Supervised task execution: failure envelopes, retries, timeouts, recovery.
+
+The plain :func:`~repro.runtime.executor.map_tasks` pool propagates the
+first raising task pool-wide, and a killed or hung worker aborts the
+whole sweep — acceptable for an interactive reproduction, fatal for the
+edge/IoT deployments DeepN-JPEG targets, where preemption, OOM kills and
+transient failures are the norm.  This module supervises the map
+instead:
+
+* **Per-task error envelopes.**  Each task runs inside
+  :func:`_run_envelope`; an exception becomes a :class:`TaskFailure`
+  carrying the task index, error type/message, formatted traceback, the
+  attempt count and (when picklable) the original exception — one
+  failing cell never poisons its siblings.
+* **Bounded retries with deterministic backoff.**  A failed attempt is
+  re-queued up to ``retries`` times, delayed by
+  ``backoff * 2**(attempt-1)`` seconds.  A retried task re-runs with
+  exactly the same task payload — including its per-task
+  :class:`~numpy.random.SeedSequence`, which :func:`spawn_seeds` assigns
+  by task index — so a recovered sweep is bit-identical to a fault-free
+  one.
+* **Per-task timeouts with a hung-worker watchdog.**  Workers announce
+  each task they start over a fork-inherited channel; the parent tracks
+  deadlines and ``SIGKILL``\\ s the worker running a task past its
+  ``task_timeout``.  The kill breaks the pool, which the recovery path
+  below restarts; the timed-out task is charged one attempt.
+* **Crash recovery.**  A worker that dies mid-task (``os._exit``, OOM
+  kill, segfault) breaks the pool with
+  :class:`~concurrent.futures.process.BrokenProcessPool`.  The
+  supervisor classifies the in-flight tasks — dead worker's task:
+  charged a ``worker-crash`` attempt; watchdog victims: charged a
+  ``timeout`` attempt; bystanders: re-queued for free — then restarts
+  the pool and re-dispatches only the unfinished tasks.  Completed
+  results are never recomputed (and cells persisted through
+  :func:`~repro.runtime.executor.map_tasks_resumable` survive even a
+  supervisor crash).
+
+Three error policies decide what happens when a task exhausts its
+attempts: ``fail-fast`` (no retries; raise :class:`TaskError`
+immediately), ``retry`` (retry, then raise), ``collect`` (retry, then
+yield the :class:`TaskFailure` in the task's result slot so the sweep
+finishes every healthy task).
+
+The supervised path requires the ``fork`` start method for its worker
+channel and watchdog; without it, execution degrades to an in-process
+serial loop that still provides envelopes and retries (but cannot
+enforce timeouts or survive crashes — there is no second process to
+kill).  Deterministic faults for testing all of this live in
+:mod:`repro.runtime.faults`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import signal
+import time
+import traceback as traceback_module
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.runtime import faults as faults_module
+from repro.runtime.executor import effective_workers, fork_available
+
+#: The error policies a supervised map understands.
+POLICIES = ("fail-fast", "retry", "collect")
+
+#: ``TaskFailure.kind`` values.
+FAILURE_EXCEPTION = "exception"
+FAILURE_TIMEOUT = "timeout"
+FAILURE_CRASH = "worker-crash"
+
+#: Watchdog poll interval (seconds): how often start markers are drained
+#: and deadlines checked while futures are outstanding.
+_TICK = 0.05
+
+#: Safety valve: a pool that keeps breaking without any task being
+#: attributable (a pathologically unstable host) eventually re-raises
+#: instead of restarting forever.
+_MAX_UNATTRIBUTED_RESTARTS = 8
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """The error envelope of one task that exhausted its attempts.
+
+    ``index`` is the task's position in the supervised map (callers that
+    interleave cached results — :func:`map_tasks_resumable` — rewrite it
+    to the global position).  ``error`` holds the original exception
+    when it survived pickling, else ``None``; ``traceback`` is always a
+    formatted string (empty for crashes and timeouts, which have no
+    Python traceback to capture).
+    """
+
+    index: int
+    kind: str
+    error_type: str
+    message: str
+    attempts: int
+    traceback: str = ""
+    error: Optional[BaseException] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def describe(self) -> str:
+        return (
+            f"task {self.index} failed after {self.attempts} attempt(s) "
+            f"[{self.kind}]: {self.error_type}: {self.message}"
+        )
+
+
+class TaskError(RuntimeError):
+    """Raised under ``fail-fast``/``retry`` when a task's attempts run out.
+
+    Carries the :class:`TaskFailure` envelope as ``failure``; the
+    original exception (when available) is chained as ``__cause__``.
+    """
+
+    def __init__(self, failure: TaskFailure) -> None:
+        super().__init__(failure.describe())
+        self.failure = failure
+
+
+def _raise_task_error(failure: TaskFailure) -> None:
+    raise TaskError(failure) from failure.error
+
+
+def validate_policy(policy: str) -> str:
+    if policy not in POLICIES:
+        raise ValueError(
+            f"unknown error policy {policy!r}; valid policies: {POLICIES}"
+        )
+    return policy
+
+
+def _failure_from_exception(
+    index: int, attempt: int, error: BaseException, kind: str = FAILURE_EXCEPTION
+) -> TaskFailure:
+    keep: Optional[BaseException] = error
+    try:  # Only ship exceptions that survive a pickle round-trip.
+        pickle.loads(pickle.dumps(error))
+    except Exception:
+        keep = None
+    return TaskFailure(
+        index=index,
+        kind=kind,
+        error_type=type(error).__name__,
+        message=str(error),
+        attempts=attempt,
+        traceback="".join(
+            traceback_module.format_exception(
+                type(error), error, error.__traceback__
+            )
+        ),
+        error=keep,
+    )
+
+
+# ----------------------------------------------------------------------
+# Worker side.
+# ----------------------------------------------------------------------
+
+#: Fork-inherited start-marker channel.  The parent installs a queue here
+#: before opening (or reopening) a pool; every worker announces
+#: ``(pid, index, attempt, monotonic start time)`` before running a task,
+#: which is what gives the watchdog per-task deadlines and the crash
+#: recovery exact attribution.  Linux ``CLOCK_MONOTONIC`` is shared
+#: across processes, so worker timestamps compare directly with the
+#: parent's clock.
+_START_CHANNEL = None
+
+
+def _run_envelope(payload):
+    """Module-level pool task: one supervised attempt of one task."""
+    index, attempt, function, task = payload
+    channel = _START_CHANNEL
+    if channel is not None:
+        channel.put((os.getpid(), index, attempt, time.monotonic()))
+    try:
+        faults_module.fire(index, attempt)
+        value = function(task)
+    except Exception as error:
+        return ("failure", _failure_from_exception(index, attempt, error))
+    return ("ok", value)
+
+
+# ----------------------------------------------------------------------
+# Supervisor.
+# ----------------------------------------------------------------------
+
+def supervise(
+    function,
+    tasks,
+    workers: int = 1,
+    policy: str = "retry",
+    retries: int = 2,
+    task_timeout: Optional[float] = None,
+    backoff: float = 0.0,
+    window: Optional[int] = None,
+):
+    """Supervised map: yields ``(index, outcome)`` in completion order.
+
+    ``outcome`` is the task's return value, or — only under the
+    ``collect`` policy — a :class:`TaskFailure` for a task that
+    exhausted its attempts.  Under ``fail-fast``/``retry`` exhaustion
+    raises :class:`TaskError` instead (``fail-fast`` is ``retry`` with
+    zero retries).  ``window`` bounds the number of outstanding
+    submissions (``None`` = all at once).
+
+    Requires a picklable module-level ``function`` when a pool is used,
+    like every pool path in :mod:`repro.runtime.executor`.  With
+    ``fork`` available the map always runs in a pool — even for
+    ``workers=1`` — because process isolation is the point: a crash or
+    a kill must take out a worker, never the supervisor.
+    """
+    validate_policy(policy)
+    if retries < 0:
+        raise ValueError(f"retries must be non-negative, got {retries}")
+    if task_timeout is not None and task_timeout <= 0:
+        raise ValueError(
+            f"task_timeout must be positive, got {task_timeout}"
+        )
+    if backoff < 0:
+        raise ValueError(f"backoff must be non-negative, got {backoff}")
+    tasks = list(tasks)
+    max_attempts = 1 + (retries if policy != "fail-fast" else 0)
+    if not tasks:
+        return
+    if not fork_available():
+        yield from _supervise_serial(
+            function, tasks, policy, max_attempts, backoff
+        )
+        return
+    count = effective_workers(workers, task_count=len(tasks))
+    yield from _supervise_pool(
+        function, tasks, count, policy, max_attempts, task_timeout,
+        backoff, window,
+    )
+
+
+def _backoff_delay(backoff: float, attempt: int) -> float:
+    """Deterministic exponential backoff after a failed ``attempt``."""
+    return backoff * (2.0 ** (attempt - 1))
+
+
+def _supervise_serial(function, tasks, policy, max_attempts, backoff):
+    """In-process fallback: envelopes and retries, no timeouts or kills."""
+    for index, task in enumerate(tasks):
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                faults_module.fire(index, attempt)
+                value = function(task)
+            except Exception as error:
+                failure = _failure_from_exception(index, attempt, error)
+                if attempt < max_attempts:
+                    delay = _backoff_delay(backoff, attempt)
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
+                if policy == "collect":
+                    yield index, failure
+                    break
+                _raise_task_error(failure)
+            else:
+                yield index, value
+                break
+
+
+class _Pending:
+    """One task attempt waiting to be submitted (retry backoff aware)."""
+
+    __slots__ = ("index", "attempt", "ready_at")
+
+    def __init__(self, index: int, attempt: int, ready_at: float) -> None:
+        self.index = index
+        self.attempt = attempt
+        self.ready_at = ready_at
+
+
+def _terminate_pool(pool) -> None:
+    """Hard-stop a pool: SIGKILL every worker, never wait on them.
+
+    Used on abnormal exits (fail-fast raise, consumer close,
+    KeyboardInterrupt) and after a break, where a graceful shutdown
+    could block forever behind a hung worker.
+    """
+    for process in list(getattr(pool, "_processes", {}).values()):
+        try:
+            os.kill(process.pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError):
+            pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _supervise_pool(
+    function, tasks, count, policy, max_attempts, task_timeout, backoff, window
+):
+    global _START_CHANNEL
+    context = multiprocessing.get_context("fork")
+    channel = context.SimpleQueue()
+    previous_channel = _START_CHANNEL
+    _START_CHANNEL = channel
+    pool = None
+    completed = False
+    pending = [_Pending(index, 1, 0.0) for index in range(len(tasks))]
+    in_flight: dict = {}          # future -> (index, attempt)
+    running: dict = {}            # index -> (pid, started_at)
+    timed_out: set = set()        # indices killed by the watchdog (this pool)
+    worker_pids: dict = {}        # pid -> Process (this pool generation)
+    unattributed_restarts = 0
+    capacity = window if window is not None else len(tasks) * max_attempts
+
+    def handle_failure(index, attempt, failure, now):
+        """Charge one failed attempt; returns the outcome to yield, if any."""
+        if attempt < max_attempts:
+            pending.append(
+                _Pending(index, attempt + 1, now + _backoff_delay(backoff, attempt))
+            )
+            return None
+        if policy == "collect":
+            return failure
+        _raise_task_error(failure)
+
+    try:
+        while pending or in_flight:
+            now = time.monotonic()
+            if pool is None:
+                # (Re)open the pool after _START_CHANNEL is installed so
+                # forked workers inherit the live channel.
+                pool = ProcessPoolExecutor(
+                    max_workers=count, mp_context=context
+                )
+                running.clear()
+                timed_out.clear()
+            # Top up: submit every due attempt the window allows.
+            broken = False
+            due = [
+                entry for entry in pending if entry.ready_at <= now
+            ][: max(capacity - len(in_flight), 0)]
+            for entry in due:
+                pending.remove(entry)
+                try:
+                    future = pool.submit(
+                        _run_envelope,
+                        (entry.index, entry.attempt,
+                         function, tasks[entry.index]),
+                    )
+                except BrokenProcessPool:
+                    # The pool broke between two submissions; put the
+                    # attempt back and fall through to the recovery path.
+                    pending.append(entry)
+                    broken = True
+                    break
+                in_flight[future] = (entry.index, entry.attempt)
+            worker_pids.update(getattr(pool, "_processes", None) or {})
+            if not broken and not in_flight:
+                # Everything pending is backing off; sleep to the soonest.
+                time.sleep(
+                    max(min(e.ready_at for e in pending) - now, 0.0) + 1e-4
+                )
+                continue
+            if not broken:
+                done, _ = wait(
+                    set(in_flight), timeout=_TICK, return_when=FIRST_COMPLETED
+                )
+                _drain_start_markers(channel, in_flight, running)
+                now = time.monotonic()
+                for future in done:
+                    index, attempt = in_flight.pop(future)
+                    error = future.exception()
+                    if not isinstance(error, BrokenProcessPool):
+                        # Keep the running record of broken futures: the
+                        # crash classification below needs to know which
+                        # worker was running which task.
+                        running.pop(index, None)
+                    if error is None:
+                        status, value = future.result()
+                        if status == "ok":
+                            yield index, value
+                            continue
+                        outcome = handle_failure(index, attempt, value, now)
+                        if outcome is not None:
+                            yield index, outcome
+                    elif isinstance(error, BrokenProcessPool):
+                        # Classified below with the rest of the in-flight
+                        # set.
+                        broken = True
+                        in_flight[future] = (index, attempt)
+                    elif isinstance(error, (KeyboardInterrupt, SystemExit)):
+                        raise error
+                    else:
+                        # The envelope caught task exceptions, so this is
+                        # a transport failure (e.g. an unpicklable
+                        # result): charge the attempt with the executor's
+                        # exception.
+                        outcome = handle_failure(
+                            index, attempt,
+                            _failure_from_exception(index, attempt, error),
+                            now,
+                        )
+                        if outcome is not None:
+                            yield index, outcome
+            if broken or _pool_is_broken(pool):
+                # Harvest results that completed before the break — a
+                # finished task must never be re-run.
+                for future in [f for f in in_flight if f.done()]:
+                    if future.exception() is None:
+                        index, attempt = in_flight.pop(future)
+                        running.pop(index, None)
+                        status, value = future.result()
+                        if status == "ok":
+                            yield index, value
+                        else:
+                            outcome = handle_failure(
+                                index, attempt, value, time.monotonic()
+                            )
+                            if outcome is not None:
+                                yield index, outcome
+                _drain_start_markers(channel, in_flight, running)
+                attributed = _classify_break(
+                    in_flight, running, timed_out, worker_pids,
+                    pending, handle_failure, time.monotonic(),
+                )
+                for index, outcome in attributed.pop("outcomes"):
+                    yield index, outcome
+                if not attributed["charged"]:
+                    unattributed_restarts += 1
+                    if unattributed_restarts > _MAX_UNATTRIBUTED_RESTARTS:
+                        raise BrokenProcessPool(
+                            "process pool kept breaking without any "
+                            "attributable task; giving up after "
+                            f"{unattributed_restarts} restarts"
+                        )
+                _terminate_pool(pool)
+                pool = None
+                in_flight.clear()
+                worker_pids = {}
+                continue
+            if task_timeout is not None:
+                _enforce_deadlines(running, timed_out, task_timeout, now)
+        completed = True
+    finally:
+        if pool is not None:
+            if completed:
+                pool.shutdown(wait=True)
+            else:
+                _terminate_pool(pool)
+        _START_CHANNEL = previous_channel
+        channel.close()
+
+
+def _pool_is_broken(pool) -> bool:
+    return bool(getattr(pool, "_broken", False))
+
+
+def _drain_start_markers(channel, in_flight, running) -> None:
+    """Record which worker is running which task attempt.
+
+    Markers for attempts that are no longer in flight (their future
+    already completed) are dropped — a stale marker must never give the
+    watchdog a pid to kill for a task that already finished.
+    """
+    live = {
+        (index, attempt) for index, attempt in in_flight.values()
+    }
+    while not channel.empty():
+        pid, index, attempt, started_at = channel.get()
+        if (index, attempt) in live:
+            running[index] = (pid, started_at)
+
+
+def _enforce_deadlines(running, timed_out, task_timeout, now) -> None:
+    """Kill the worker of any running task past its deadline.
+
+    The SIGKILL breaks the pool; the recovery path charges the victim a
+    ``timeout`` attempt and re-dispatches everything else.
+    """
+    for index, (pid, started_at) in list(running.items()):
+        if index in timed_out or now - started_at <= task_timeout:
+            continue
+        timed_out.add(index)
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError):
+            pass
+
+
+def _classify_break(
+    in_flight, running, timed_out, worker_pids, pending, handle_failure, now
+):
+    """Attribute a broken pool's in-flight tasks and schedule their future.
+
+    Returns ``{"outcomes": [(index, TaskFailure), ...], "charged": bool}``
+    — outcomes to yield (``collect`` exhaustion) and whether any task was
+    charged an attempt (the progress guarantee for the restart loop).
+
+    Classification, per in-flight ``(index, attempt)``:
+
+    * watchdog victims (``timed_out``) — charged a ``timeout`` attempt;
+    * tasks whose recorded worker died *abnormally* (an exit status that
+      is neither a clean 0 nor the executor's own SIGTERM teardown of
+      bystanders) — charged a ``worker-crash`` attempt;
+    * everything else (queued tasks, bystanders whose worker the
+      executor tore down) — re-queued with no attempt charged.
+
+    If nothing is attributable (stdlib teardown details vary), every
+    *running* task is charged a crash attempt instead: over-charging a
+    bystander costs one deterministic re-run, while under-charging
+    could restart forever.
+    """
+    outcomes = []
+    charged = False
+    deferred = []
+    for future, (index, attempt) in list(in_flight.items()):
+        if index in timed_out:
+            charged = True
+            failure = TaskFailure(
+                index=index,
+                kind=FAILURE_TIMEOUT,
+                error_type="TimeoutError",
+                message=(
+                    f"task exceeded its timeout; its worker was killed "
+                    f"and the pool restarted"
+                ),
+                attempts=attempt,
+            )
+            outcome = handle_failure(index, attempt, failure, now)
+            if outcome is not None:
+                outcomes.append((index, outcome))
+        elif _worker_died_abnormally(running.get(index), worker_pids):
+            charged = True
+            pid = running[index][0]
+            failure = _crash_failure(index, attempt, pid, worker_pids)
+            outcome = handle_failure(index, attempt, failure, now)
+            if outcome is not None:
+                outcomes.append((index, outcome))
+        else:
+            deferred.append((index, attempt))
+    if not charged and deferred:
+        # Fall back: blame every task that had actually started.
+        still_deferred = []
+        for index, attempt in deferred:
+            if index in running:
+                charged = True
+                pid = running[index][0]
+                failure = _crash_failure(index, attempt, pid, worker_pids)
+                outcome = handle_failure(index, attempt, failure, now)
+                if outcome is not None:
+                    outcomes.append((index, outcome))
+            else:
+                still_deferred.append((index, attempt))
+        deferred = still_deferred
+    for index, attempt in deferred:
+        pending.append(_Pending(index, attempt, now))
+    return {"outcomes": outcomes, "charged": charged}
+
+
+def _reap_exitcode(process, timeout: float = 0.5):
+    """The worker's exit status, waiting briefly for the OS to reap it.
+
+    A ``BrokenProcessPool`` can surface before the dead child is
+    waitable, in which case a bare ``exitcode`` read (a non-blocking
+    ``waitpid``) still reports ``None``; the short join closes that race
+    so crash classification sees the real exit status.
+    """
+    if process is None:
+        return None
+    process.join(timeout=timeout)
+    return process.exitcode
+
+
+def _worker_died_abnormally(record, worker_pids) -> bool:
+    if record is None:
+        return False
+    pid, _ = record
+    process = worker_pids.get(pid)
+    if process is None:
+        return False
+    exitcode = _reap_exitcode(process)
+    return exitcode is not None and exitcode not in (0, -signal.SIGTERM)
+
+
+def _crash_failure(index, attempt, pid, worker_pids) -> TaskFailure:
+    exitcode = _reap_exitcode(worker_pids.get(pid))
+    return TaskFailure(
+        index=index,
+        kind=FAILURE_CRASH,
+        error_type="BrokenProcessPool",
+        message=(
+            f"worker pid {pid} died while running this task "
+            f"(exit status {exitcode}); the pool was restarted and "
+            f"unfinished tasks re-dispatched"
+        ),
+        attempts=attempt,
+    )
+
+
+# ----------------------------------------------------------------------
+# Ordered wrappers (the shapes executor.map_tasks/imap_tasks need).
+# ----------------------------------------------------------------------
+
+def supervised_map(
+    function,
+    tasks,
+    workers: int = 1,
+    policy: str = "retry",
+    retries: int = 2,
+    task_timeout: Optional[float] = None,
+    backoff: float = 0.0,
+    on_result=None,
+) -> list:
+    """:func:`supervise`, reassembled into task order.
+
+    Returns one slot per task: the value, or a :class:`TaskFailure`
+    under ``collect``.  ``on_result(index, value)`` fires in task order
+    for successful tasks only — failures are never handed to result
+    consumers (the experiment store must not persist them).
+    """
+    tasks = list(tasks)
+    total = len(tasks)
+    results = [None] * total
+    filled = [False] * total
+    fire_next = 0
+    for index, outcome in supervise(
+        function, tasks, workers=workers, policy=policy, retries=retries,
+        task_timeout=task_timeout, backoff=backoff,
+    ):
+        results[index] = outcome
+        filled[index] = True
+        while fire_next < total and filled[fire_next]:
+            value = results[fire_next]
+            if on_result is not None and not isinstance(value, TaskFailure):
+                on_result(fire_next, value)
+            fire_next += 1
+    return results
+
+
+def supervised_imap(
+    function,
+    tasks,
+    workers: int = 1,
+    policy: str = "retry",
+    retries: int = 2,
+    task_timeout: Optional[float] = None,
+    backoff: float = 0.0,
+    window: Optional[int] = None,
+):
+    """:func:`supervise` as an in-order generator (bounded submissions).
+
+    ``window`` defaults to ``2 * workers`` like
+    :func:`~repro.runtime.executor.imap_tasks`; note that a long-retrying
+    early task can buffer later results beyond the window until it
+    resolves — ordering is preserved, backpressure is best-effort.
+    """
+    tasks = list(tasks)
+    if window is None:
+        window = 2 * effective_workers(workers, task_count=len(tasks))
+    window = max(int(window), 1)
+    buffered: dict = {}
+    next_index = 0
+    for index, outcome in supervise(
+        function, tasks, workers=workers, policy=policy, retries=retries,
+        task_timeout=task_timeout, backoff=backoff, window=window,
+    ):
+        buffered[index] = outcome
+        while next_index in buffered:
+            yield buffered.pop(next_index)
+            next_index += 1

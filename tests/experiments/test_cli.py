@@ -39,6 +39,33 @@ class TestArgumentParsing:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "fig5", "--scale", "huge"])
 
+    def test_fault_tolerance_flags_default_to_none(self):
+        # None = "not given": only explicit flags override the config's
+        # own defaults, so `repro run` stays on the legacy fast path.
+        arguments = build_parser().parse_args(["run", "fig5"])
+        assert arguments.on_error is None
+        assert arguments.retries is None
+        assert arguments.task_timeout is None
+
+    def test_fault_tolerance_flags_parse(self):
+        arguments = build_parser().parse_args(
+            ["run", "fig5", "--on-error", "collect", "--retries", "3",
+             "--task-timeout", "2.5"]
+        )
+        assert arguments.on_error == "collect"
+        assert arguments.retries == 3
+        assert arguments.task_timeout == 2.5
+
+    def test_unknown_error_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "fig5", "--on-error", "explode"]
+            )
+
+    def test_invalid_retries_exits_2(self, capsys):
+        assert main(["run", "fig5", "--retries", "-1"]) == 2
+        assert "retries" in capsys.readouterr().err
+
     def test_replay_requires_artifacts_dir(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["replay", "fig5"])

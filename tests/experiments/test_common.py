@@ -43,6 +43,31 @@ class TestExperimentConfig:
     def test_input_shape(self):
         assert ExperimentConfig(image_size=16).input_shape() == (1, 16, 16)
 
+    def test_fault_tolerance_knob_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(on_error="explode")
+        with pytest.raises(ValueError):
+            ExperimentConfig(retries=-1)
+        with pytest.raises(ValueError):
+            ExperimentConfig(task_timeout=0)
+        config = ExperimentConfig(
+            on_error="collect", retries=5, task_timeout=1.5
+        )
+        assert config.on_error == "collect"
+
+    def test_task_key_normalises_runtime_knobs(self):
+        # None of the runtime knobs influence results, so none may
+        # influence worker-state keys or store addresses.
+        noisy = ExperimentConfig(
+            workers=8, on_error="collect", retries=7, task_timeout=2.0
+        )
+        key = noisy.task_key()
+        assert key == ExperimentConfig().task_key()
+        assert key.workers == 1
+        assert key.on_error == "fail-fast"
+        assert key.retries == 2
+        assert key.task_timeout is None
+
 
 class TestSplitsAndTraining:
     def test_make_splits_stratified(self, micro_config):

@@ -121,9 +121,9 @@ def test_state_memos_released_after_sweeps():
     fig5_band_sensitivity.run(
         MICRO, step_sweeps={"LF": (1,), "MF": (1,), "HF": (1,)}
     )
-    assert fig5_band_sensitivity._STATE._value is None
+    assert fig5_band_sensitivity._STATE.is_empty()
     fig9_power.run(
         MICRO,
         bytes_per_method={"Original": 1000.0, "DeepN-JPEG": 250.0},
     )
-    assert fig9_power._STATE._value is None
+    assert fig9_power._STATE.is_empty()

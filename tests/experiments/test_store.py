@@ -94,6 +94,67 @@ class TestArtifactStore:
         assert store.get(key) == 2
         assert len(store) == 1
 
+    def _leftover_temp_files(self, store):
+        import os
+
+        return [
+            name
+            for _, _, files in os.walk(store.root)
+            for name in files
+            if name.endswith(".tmp")
+        ]
+
+    def test_put_unserialisable_payload_cleans_up(self, store):
+        from repro.experiments.store import ArtifactStoreError
+
+        key = store.key({"cell": "bad"})
+        with pytest.raises(ArtifactStoreError, match=key) as exc_info:
+            store.put(key, {"value": object()})
+        assert isinstance(exc_info.value.__cause__, TypeError)
+        assert self._leftover_temp_files(store) == []
+        assert key not in store
+        assert len(store) == 0
+
+    def test_put_rename_failure_cleans_up(self, store, monkeypatch):
+        # A full disk / permission error surfacing at the atomic rename:
+        # the temp file must be removed and the error must name key+path.
+        import errno
+        import os
+
+        from repro.experiments.store import ArtifactStoreError
+
+        real_replace = os.replace
+
+        def poisoned(src, dst, *args, **kwargs):
+            if str(dst).startswith(store.root):
+                raise OSError(errno.ENOSPC, "No space left on device")
+            return real_replace(src, dst, *args, **kwargs)
+
+        monkeypatch.setattr(os, "replace", poisoned)
+        key = store.key({"cell": "enospc"})
+        with pytest.raises(ArtifactStoreError, match="No space left"):
+            store.put(key, {"value": 1})
+        assert self._leftover_temp_files(store) == []
+        assert key not in store
+
+    def test_put_failure_never_clobbers_existing_artifact(
+        self, store, monkeypatch
+    ):
+        import os
+
+        from repro.experiments.store import ArtifactStoreError
+
+        key = store.key({"cell": "keep"})
+        store.put(key, {"value": "original"})
+        monkeypatch.setattr(
+            os, "replace",
+            lambda *a, **k: (_ for _ in ()).throw(PermissionError("denied")),
+        )
+        with pytest.raises(ArtifactStoreError):
+            store.put(key, {"value": "new"})
+        monkeypatch.undo()
+        assert store.get(key) == {"value": "original"}
+
 
 class TestSweepCache:
     def test_none_store_always_misses(self):

@@ -217,6 +217,27 @@ class TestTaskState:
         state.clear()
         assert state.get("x") == 2
 
+    def test_none_state_is_memoised(self):
+        # Regression: a build that legitimately returns None must be
+        # cached like any other value, not rebuilt on every get.
+        calls = []
+        state = TaskState(lambda key: calls.append(key))
+        assert state.get("k") is None
+        assert state.get("k") is None
+        assert calls == ["k"]
+
+    def test_none_seed_is_memoised(self):
+        state = TaskState(lambda key: pytest.fail("build should not run"))
+        state.seed("k", None)
+        assert state.get("k") is None
+
+    def test_none_key_is_a_valid_key(self):
+        calls = []
+        state = TaskState(lambda key: calls.append(key) or "built")
+        assert state.get(None) == "built"
+        assert state.get(None) == "built"
+        assert calls == [None]
+
 
 @pytest.mark.skipif(not fork_available(), reason="fork start method required")
 def test_parallel_really_uses_processes():
