@@ -49,6 +49,7 @@ import time
 
 from repro.cli import SCALES
 from repro.experiments import ArtifactStore
+from repro.runtime.backends import BACKEND_NAMES
 from repro.experiments.api import (
     SweepFailure,
     build_experiment,
@@ -106,12 +107,20 @@ def main() -> None:
         help="per-cell timeout in seconds; a hung worker is killed and "
         "the cell charged a failed attempt",
     )
+    parser.add_argument(
+        "--backend", choices=BACKEND_NAMES, default=None,
+        help="execution backend for every sweep (default: automatic); "
+        "'persistent' reuses one worker pool across all figures, "
+        "'socket' farms cells out to `python -m repro.worker` daemons; "
+        "results are identical for every backend",
+    )
     arguments = parser.parse_args()
     config = SCALES[arguments.scale]().with_overrides(
         workers=arguments.workers,
         on_error=arguments.on_error,
         retries=arguments.retries,
         task_timeout=arguments.task_timeout,
+        backend=arguments.backend,
     )
     artifacts_dir = arguments.artifacts_dir
     session_store = None

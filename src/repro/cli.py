@@ -16,8 +16,12 @@ Three subcommands over the experiment registry
     the same task payload (recovered runs are bit-identical), hung cells
     are killed at the timeout, and under ``--on-error collect`` every
     healthy cell completes and persists before the run exits non-zero
-    with a report naming the failed cells (exit status 3).  Ctrl-C
-    exits with status 130 after printing how to resume.
+    with a report naming the failed cells (exit status 3; with ``--json``
+    the report is a machine-readable payload of ``TaskFailure``
+    envelopes on stdout).  ``--backend`` selects the execution
+    transport (:mod:`repro.runtime.backends`) — including ``socket``,
+    which farms cells out to ``python -m repro.worker`` daemons.
+    Ctrl-C exits with status 130 after printing how to resume.
 ``replay <name>``
     Re-run against a warm artifact store and *fail* unless every cell
     was served from cache — the smoke check that a previous ``run``
@@ -50,6 +54,8 @@ from repro.experiments.api import (
     run_experiment,
 )
 from repro.experiments.store import ArtifactStore
+from repro.runtime import faults
+from repro.runtime.backends import BACKEND_NAMES
 
 #: Exit statuses beyond 0/1: argparse-style usage errors are 2, a sweep
 #: with failed cells is 3, an interrupted run is 128+SIGINT = 130.
@@ -122,6 +128,15 @@ def build_parser() -> argparse.ArgumentParser:
             "is killed and handled under the error policy",
         )
         sub.add_argument(
+            "--backend", choices=BACKEND_NAMES, default=None,
+            help="execution backend for the sweep (default: automatic — "
+            "serial for --workers 1, a forked pool otherwise); "
+            "'persistent' reuses one pool across sweeps, 'socket' "
+            "coordinates `python -m repro.worker` daemons over TCP; "
+            "results are identical for every backend (REPRO_BACKEND "
+            "sets the same knob)",
+        )
+        sub.add_argument(
             "--json", action="store_true", dest="as_json",
             help="emit the result as JSON on stdout instead of a table",
         )
@@ -149,6 +164,8 @@ def _resume_hint(arguments: argparse.Namespace) -> str:
     )
     if arguments.workers != 1:
         command += f" --workers {arguments.workers}"
+    if arguments.backend is not None:
+        command += f" --backend {arguments.backend}"
     if arguments.artifacts_dir:
         command += f" --artifacts-dir {arguments.artifacts_dir}"
         return (
@@ -166,6 +183,14 @@ def _run(arguments: argparse.Namespace) -> int:
     except KeyError as error:
         print(f"error: {error.args[0]}", file=sys.stderr)
         return 2
+    try:
+        # Surface a REPRO_FAULTS typo before any state is built: a bad
+        # spec string must fail the run up front, not mid-sweep inside
+        # a worker.
+        faults.validate_active_faults()
+    except faults.FaultSpecError as error:
+        print(f"error: invalid {faults.ENV_VAR}: {error}", file=sys.stderr)
+        return 2
     overrides = {"workers": arguments.workers}
     if arguments.on_error is not None:
         overrides["on_error"] = arguments.on_error
@@ -173,6 +198,8 @@ def _run(arguments: argparse.Namespace) -> int:
         overrides["retries"] = arguments.retries
     if arguments.task_timeout is not None:
         overrides["task_timeout"] = arguments.task_timeout
+    if arguments.backend is not None:
+        overrides["backend"] = arguments.backend
     try:
         config = SCALES[arguments.scale]().with_overrides(**overrides)
     except ValueError as error:
@@ -191,6 +218,23 @@ def _run(arguments: argparse.Namespace) -> int:
             experiment, config, store=store, progress=progress
         )
     except SweepFailure as failure:
+        if arguments.as_json:
+            # Machine-readable failure report: the supervision envelopes
+            # serialise themselves (TaskFailure.to_json), so the payload
+            # round-trips through TaskFailure.from_json.
+            json.dump(
+                {
+                    "experiment": failure.experiment,
+                    "failed": len(failure.failures),
+                    "total": failure.total,
+                    "failures": [
+                        {"cell": cell, "failure": envelope.to_json()}
+                        for cell, envelope in failure.failures
+                    ],
+                },
+                sys.stdout,
+            )
+            print()
         print(f"error: {failure.report()}", file=sys.stderr)
         print(_resume_hint(arguments), file=sys.stderr)
         return EXIT_SWEEP_FAILURE
@@ -220,6 +264,7 @@ def _run(arguments: argparse.Namespace) -> int:
             "title": experiment.title,
             "scale": arguments.scale,
             "workers": arguments.workers,
+            "backend": arguments.backend,
             "headers": list(experiment.headers),
             "rows": result.rows(),
             "elapsed_seconds": elapsed,

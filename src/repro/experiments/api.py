@@ -415,8 +415,9 @@ def run_experiment(
     3. otherwise build (or seed) the shared heavy state, resolve missing
        scalars, and map the missing cells through
        :func:`~repro.runtime.executor.map_tasks_resumable` — serially
-       for ``workers=1``, over a forked pool otherwise — persisting
-       each fresh cell as it completes;
+       for ``workers=1``, over a forked pool otherwise, or over the
+       transport ``config.backend`` selects — persisting each fresh
+       cell as it completes;
     4. ``assemble`` the ordered results into the figure's result object.
 
     ``progress`` — when given — is called as ``progress(done, total)``
@@ -516,6 +517,7 @@ def run_experiment(
                 policy=config.on_error if supervised else None,
                 retries=config.retries,
                 task_timeout=config.task_timeout,
+                backend=config.backend,
             )
         except TaskError as error:
             failure = error.failure

@@ -59,6 +59,15 @@ class ExperimentConfig:
         recovered sweeps are bit-identical to fault-free ones — none of
         these knobs influence results, so ``task_key()`` normalises
         them all away.
+    backend:
+        Execution backend of the sweep runtime (see
+        :mod:`repro.runtime.backends`): ``None`` (the default) keeps the
+        automatic choice — the historical in-process/forked paths —
+        while ``"serial"``, ``"forked"``, ``"persistent"`` and
+        ``"socket"`` select a transport explicitly.  Like the
+        fault-tolerance knobs, the backend is pure transport: results
+        and store addresses are identical across backends, so
+        ``task_key()`` normalises it away too.
     """
 
     images_per_class: int = 30
@@ -78,6 +87,7 @@ class ExperimentConfig:
     on_error: str = "fail-fast"
     retries: int = 2
     task_timeout: Optional[float] = None
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.images_per_class < 4:
@@ -102,6 +112,9 @@ class ExperimentConfig:
             raise ValueError("retries must be non-negative")
         if self.task_timeout is not None and self.task_timeout <= 0:
             raise ValueError("task_timeout must be positive (or None)")
+        from repro.runtime.backends import validate_backend_name
+
+        validate_backend_name(self.backend)
 
     @classmethod
     def micro(cls) -> "ExperimentConfig":
@@ -148,11 +161,11 @@ class ExperimentConfig:
         """The worker-state key this configuration implies.
 
         Identical to the config except that every runtime knob —
-        ``workers`` and the fault-tolerance policy — is normalised to
-        its default: the parallel runtime must never influence the
-        data, model or seeds a worker reconstructs (and so never the
-        store address either), and a worker never re-parallelises its
-        own task.
+        ``workers``, the fault-tolerance policy and the execution
+        ``backend`` — is normalised to its default: the parallel
+        runtime must never influence the data, model or seeds a worker
+        reconstructs (and so never the store address either), and a
+        worker never re-parallelises its own task.
         """
         return replace(
             self,
@@ -160,6 +173,7 @@ class ExperimentConfig:
             on_error="fail-fast",
             retries=2,
             task_timeout=None,
+            backend=None,
         )
 
     def freqnet_config(self) -> FreqNetConfig:

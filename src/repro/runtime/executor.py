@@ -138,6 +138,7 @@ def map_tasks(
     retries: int = 2,
     task_timeout: float = None,
     retry_backoff: float = 0.0,
+    backend: str = None,
 ) -> list:
     """Map ``function`` over ``tasks``, serially or through a process pool.
 
@@ -166,6 +167,14 @@ def map_tasks(
     to the historical behaviour.  Under ``policy="collect"`` the result
     list carries a ``TaskFailure`` in each failed slot and ``on_result``
     never fires for failures.
+
+    ``backend`` selects the execution transport
+    (:mod:`repro.runtime.backends`): ``"serial"``, ``"forked"``,
+    ``"persistent"`` (a warm pool reused across maps) or ``"socket"``
+    (external worker daemons).  ``None`` defers to the ``REPRO_BACKEND``
+    environment variable; unset, the historical auto behaviour runs —
+    and because the backends map the same payloads through the same
+    functions, results are bit-identical across all of them.
     """
     tasks = list(tasks)
     if policy is not None or task_timeout is not None:
@@ -175,7 +184,15 @@ def map_tasks(
             function, tasks, workers=workers,
             policy=policy if policy is not None else "fail-fast",
             retries=retries, task_timeout=task_timeout,
-            backoff=retry_backoff, on_result=on_result,
+            backoff=retry_backoff, on_result=on_result, backend=backend,
+        )
+    from repro.runtime.backends import get_backend, resolve_backend_name
+
+    resolved = resolve_backend_name(backend)
+    if resolved is not None:
+        return get_backend(resolved).map_ordered(
+            function, tasks, workers=workers, chunksize=chunksize,
+            on_result=on_result,
         )
     count = effective_workers(workers, task_count=len(tasks))
     if count <= 1 or len(tasks) <= 1 or not fork_available():
@@ -216,6 +233,7 @@ def map_tasks_resumable(
     retries: int = 2,
     task_timeout: float = None,
     retry_backoff: float = 0.0,
+    backend: str = None,
 ):
     """:func:`map_tasks`, but skipping tasks that already have a result.
 
@@ -259,7 +277,7 @@ def map_tasks_resumable(
     fresh = imap_tasks(
         function, [task for _, task in pending], workers=workers,
         policy=policy, retries=retries, task_timeout=task_timeout,
-        retry_backoff=retry_backoff,
+        retry_backoff=retry_backoff, backend=backend,
     )
     try:
         for (index, _), value in zip(pending, fresh):
@@ -321,6 +339,7 @@ def imap_tasks(
     retries: int = 2,
     task_timeout: float = None,
     retry_backoff: float = 0.0,
+    backend: str = None,
 ):
     """Like :func:`map_tasks`, but a generator with bounded buffering.
 
@@ -345,7 +364,15 @@ def imap_tasks(
             function, tasks, workers=workers,
             policy=policy if policy is not None else "fail-fast",
             retries=retries, task_timeout=task_timeout,
-            backoff=retry_backoff, window=window,
+            backoff=retry_backoff, window=window, backend=backend,
+        )
+        return
+    from repro.runtime.backends import get_backend, resolve_backend_name
+
+    resolved = resolve_backend_name(backend)
+    if resolved is not None:
+        yield from get_backend(resolved).imap_ordered(
+            function, tasks, workers=workers, window=window,
         )
         return
     count = effective_workers(workers, task_count=len(tasks))

@@ -51,14 +51,10 @@ kill).  Deterministic faults for testing all of this live in
 
 from __future__ import annotations
 
-import multiprocessing
 import os
 import pickle
-import signal
 import time
 import traceback as traceback_module
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -73,14 +69,9 @@ FAILURE_EXCEPTION = "exception"
 FAILURE_TIMEOUT = "timeout"
 FAILURE_CRASH = "worker-crash"
 
-#: Watchdog poll interval (seconds): how often start markers are drained
-#: and deadlines checked while futures are outstanding.
+#: Supervisor poll interval (seconds): how often backend events are
+#: drained and watchdog deadlines checked while attempts are in flight.
 _TICK = 0.05
-
-#: Safety valve: a pool that keeps breaking without any task being
-#: attributable (a pathologically unstable host) eventually re-raises
-#: instead of restarting forever.
-_MAX_UNATTRIBUTED_RESTARTS = 8
 
 
 @dataclass(frozen=True)
@@ -111,6 +102,34 @@ class TaskFailure:
             f"[{self.kind}]: {self.error_type}: {self.message}"
         )
 
+    def to_json(self) -> dict:
+        """A JSON-able envelope (what crosses the wire and the CLI emits).
+
+        The live exception object does not survive JSON — only its
+        type/message/traceback strings do — so ``from_json`` always
+        reconstructs with ``error=None``; everything else round-trips
+        exactly.
+        """
+        return {
+            "index": self.index,
+            "kind": self.kind,
+            "error_type": self.error_type,
+            "message": self.message,
+            "attempts": self.attempts,
+            "traceback": self.traceback,
+        }
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "TaskFailure":
+        return cls(
+            index=int(payload["index"]),
+            kind=str(payload["kind"]),
+            error_type=str(payload["error_type"]),
+            message=str(payload["message"]),
+            attempts=int(payload["attempts"]),
+            traceback=str(payload.get("traceback", "")),
+        )
+
 
 class TaskError(RuntimeError):
     """Raised under ``fail-fast``/``retry`` when a task's attempts run out.
@@ -122,6 +141,13 @@ class TaskError(RuntimeError):
     def __init__(self, failure: TaskFailure) -> None:
         super().__init__(failure.describe())
         self.failure = failure
+
+    def to_json(self) -> dict:
+        return {"failure": self.failure.to_json()}
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "TaskError":
+        return cls(TaskFailure.from_json(payload["failure"]))
 
 
 def _raise_task_error(failure: TaskFailure) -> None:
@@ -200,6 +226,7 @@ def supervise(
     task_timeout: Optional[float] = None,
     backoff: float = 0.0,
     window: Optional[int] = None,
+    backend: Optional[str] = None,
 ):
     """Supervised map: yields ``(index, outcome)`` in completion order.
 
@@ -210,11 +237,19 @@ def supervise(
     zero retries).  ``window`` bounds the number of outstanding
     submissions (``None`` = all at once).
 
-    Requires a picklable module-level ``function`` when a pool is used,
-    like every pool path in :mod:`repro.runtime.executor`.  With
-    ``fork`` available the map always runs in a pool — even for
-    ``workers=1`` — because process isolation is the point: a crash or
-    a kill must take out a worker, never the supervisor.
+    ``backend`` selects the transport
+    (:mod:`repro.runtime.backends`): ``None`` defers to the
+    ``REPRO_BACKEND`` environment variable, and auto is the historical
+    behaviour — a forked pool when ``fork`` is available (even for
+    ``workers=1``, because process isolation is the point: a crash or a
+    kill must take out a worker, never the supervisor), else the
+    in-process serial runner (envelopes and retries, but no timeouts or
+    crash recovery: there is no second process to kill).  The retry,
+    timeout, crash-classification and policy semantics here are
+    backend-independent; only event *production* differs per transport.
+
+    Requires a picklable module-level ``function`` on any multi-process
+    backend, like every pool path in :mod:`repro.runtime.executor`.
     """
     validate_policy(policy)
     if retries < 0:
@@ -225,18 +260,24 @@ def supervise(
         )
     if backoff < 0:
         raise ValueError(f"backoff must be non-negative, got {backoff}")
+    # A REPRO_FAULTS typo must abort here — before any task runs — not
+    # mid-sweep inside a worker.
+    faults_module.validate_active_faults()
     tasks = list(tasks)
     max_attempts = 1 + (retries if policy != "fail-fast" else 0)
     if not tasks:
         return
-    if not fork_available():
-        yield from _supervise_serial(
-            function, tasks, policy, max_attempts, backoff
-        )
-        return
+    from repro.runtime import backends as backends_module
+
+    resolved = backends_module.resolve_backend_name(backend)
+    if resolved is None:
+        resolved = "forked"
+    if resolved in ("forked", "persistent") and not fork_available():
+        resolved = "serial"
+    impl = backends_module.get_backend(resolved)
     count = effective_workers(workers, task_count=len(tasks))
-    yield from _supervise_pool(
-        function, tasks, count, policy, max_attempts, task_timeout,
+    yield from _supervise_backend(
+        impl, function, tasks, count, policy, max_attempts, task_timeout,
         backoff, window,
     )
 
@@ -244,31 +285,6 @@ def supervise(
 def _backoff_delay(backoff: float, attempt: int) -> float:
     """Deterministic exponential backoff after a failed ``attempt``."""
     return backoff * (2.0 ** (attempt - 1))
-
-
-def _supervise_serial(function, tasks, policy, max_attempts, backoff):
-    """In-process fallback: envelopes and retries, no timeouts or kills."""
-    for index, task in enumerate(tasks):
-        attempt = 0
-        while True:
-            attempt += 1
-            try:
-                faults_module.fire(index, attempt)
-                value = function(task)
-            except Exception as error:
-                failure = _failure_from_exception(index, attempt, error)
-                if attempt < max_attempts:
-                    delay = _backoff_delay(backoff, attempt)
-                    if delay > 0:
-                        time.sleep(delay)
-                    continue
-                if policy == "collect":
-                    yield index, failure
-                    break
-                _raise_task_error(failure)
-            else:
-                yield index, value
-                break
 
 
 class _Pending:
@@ -282,37 +298,28 @@ class _Pending:
         self.ready_at = ready_at
 
 
-def _terminate_pool(pool) -> None:
-    """Hard-stop a pool: SIGKILL every worker, never wait on them.
-
-    Used on abnormal exits (fail-fast raise, consumer close,
-    KeyboardInterrupt) and after a break, where a graceful shutdown
-    could block forever behind a hung worker.
-    """
-    for process in list(getattr(pool, "_processes", {}).values()):
-        try:
-            os.kill(process.pid, signal.SIGKILL)
-        except (ProcessLookupError, PermissionError):
-            pass
-    pool.shutdown(wait=False, cancel_futures=True)
-
-
-def _supervise_pool(
-    function, tasks, count, policy, max_attempts, task_timeout, backoff, window
+def _supervise_backend(
+    impl, function, tasks, count, policy, max_attempts, task_timeout,
+    backoff, window,
 ):
-    global _START_CHANNEL
-    context = multiprocessing.get_context("fork")
-    channel = context.SimpleQueue()
-    previous_channel = _START_CHANNEL
-    _START_CHANNEL = channel
-    pool = None
-    completed = False
+    """The backend-independent supervisor loop.
+
+    Drives one :class:`~repro.runtime.backends.ExecutorBackend` through
+    ``open``/``submit``/``poll``/``close``, owning everything that must
+    behave identically across transports: the pending queue with retry
+    backoff, the submission window, attempt accounting per event kind
+    (``ok`` yields, ``failure`` charges an attempt, ``lost`` re-queues
+    free), watchdog deadlines via ``running()``/``kill()``, and the
+    fail-fast | retry | collect policies.
+
+    Stale events — a duplicate or late delivery for an attempt that is
+    no longer in flight (a reassigned socket lease completing twice) —
+    are dropped here as a second line of defence behind the backend's
+    own dedup; idempotent task payloads make the drop safe.
+    """
     pending = [_Pending(index, 1, 0.0) for index in range(len(tasks))]
-    in_flight: dict = {}          # future -> (index, attempt)
-    running: dict = {}            # index -> (pid, started_at)
-    timed_out: set = set()        # indices killed by the watchdog (this pool)
-    worker_pids: dict = {}        # pid -> Process (this pool generation)
-    unattributed_restarts = 0
+    in_flight: dict = {}   # index -> attempt
+    timed_out: set = set()
     capacity = window if window is not None else len(tasks) * max_attempts
 
     def handle_failure(index, attempt, failure, now):
@@ -326,278 +333,65 @@ def _supervise_pool(
             return failure
         _raise_task_error(failure)
 
+    completed = False
+    impl.open(function, tasks, count)
     try:
         while pending or in_flight:
             now = time.monotonic()
-            if pool is None:
-                # (Re)open the pool after _START_CHANNEL is installed so
-                # forked workers inherit the live channel.
-                pool = ProcessPoolExecutor(
-                    max_workers=count, mp_context=context
-                )
-                running.clear()
-                timed_out.clear()
-            # Top up: submit every due attempt the window allows.
-            broken = False
             due = [
                 entry for entry in pending if entry.ready_at <= now
             ][: max(capacity - len(in_flight), 0)]
             for entry in due:
                 pending.remove(entry)
-                try:
-                    future = pool.submit(
-                        _run_envelope,
-                        (entry.index, entry.attempt,
-                         function, tasks[entry.index]),
-                    )
-                except BrokenProcessPool:
-                    # The pool broke between two submissions; put the
-                    # attempt back and fall through to the recovery path.
-                    pending.append(entry)
-                    broken = True
-                    break
-                in_flight[future] = (entry.index, entry.attempt)
-            worker_pids.update(getattr(pool, "_processes", None) or {})
-            if not broken and not in_flight:
+                in_flight[entry.index] = entry.attempt
+                impl.submit(entry.index, entry.attempt)
+            if not in_flight:
                 # Everything pending is backing off; sleep to the soonest.
                 time.sleep(
                     max(min(e.ready_at for e in pending) - now, 0.0) + 1e-4
                 )
                 continue
-            if not broken:
-                done, _ = wait(
-                    set(in_flight), timeout=_TICK, return_when=FIRST_COMPLETED
-                )
-                _drain_start_markers(channel, in_flight, running)
+            for event in impl.poll(_TICK):
+                if in_flight.get(event.index) != event.attempt:
+                    continue  # stale: this attempt already resolved
                 now = time.monotonic()
-                for future in done:
-                    index, attempt = in_flight.pop(future)
-                    error = future.exception()
-                    if not isinstance(error, BrokenProcessPool):
-                        # Keep the running record of broken futures: the
-                        # crash classification below needs to know which
-                        # worker was running which task.
-                        running.pop(index, None)
-                    if error is None:
-                        status, value = future.result()
-                        if status == "ok":
-                            yield index, value
-                            continue
-                        outcome = handle_failure(index, attempt, value, now)
-                        if outcome is not None:
-                            yield index, outcome
-                    elif isinstance(error, BrokenProcessPool):
-                        # Classified below with the rest of the in-flight
-                        # set.
-                        broken = True
-                        in_flight[future] = (index, attempt)
-                    elif isinstance(error, (KeyboardInterrupt, SystemExit)):
-                        raise error
-                    else:
-                        # The envelope caught task exceptions, so this is
-                        # a transport failure (e.g. an unpicklable
-                        # result): charge the attempt with the executor's
-                        # exception.
-                        outcome = handle_failure(
-                            index, attempt,
-                            _failure_from_exception(index, attempt, error),
-                            now,
-                        )
-                        if outcome is not None:
-                            yield index, outcome
-            if broken or _pool_is_broken(pool):
-                # Harvest results that completed before the break — a
-                # finished task must never be re-run.
-                for future in [f for f in in_flight if f.done()]:
-                    if future.exception() is None:
-                        index, attempt = in_flight.pop(future)
-                        running.pop(index, None)
-                        status, value = future.result()
-                        if status == "ok":
-                            yield index, value
-                        else:
-                            outcome = handle_failure(
-                                index, attempt, value, time.monotonic()
-                            )
-                            if outcome is not None:
-                                yield index, outcome
-                _drain_start_markers(channel, in_flight, running)
-                attributed = _classify_break(
-                    in_flight, running, timed_out, worker_pids,
-                    pending, handle_failure, time.monotonic(),
-                )
-                for index, outcome in attributed.pop("outcomes"):
-                    yield index, outcome
-                if not attributed["charged"]:
-                    unattributed_restarts += 1
-                    if unattributed_restarts > _MAX_UNATTRIBUTED_RESTARTS:
-                        raise BrokenProcessPool(
-                            "process pool kept breaking without any "
-                            "attributable task; giving up after "
-                            f"{unattributed_restarts} restarts"
-                        )
-                _terminate_pool(pool)
-                pool = None
-                in_flight.clear()
-                worker_pids = {}
-                continue
+                del in_flight[event.index]
+                timed_out.discard(event.index)
+                if event.kind == "ok":
+                    yield event.index, event.value
+                elif event.kind == "failure":
+                    outcome = handle_failure(
+                        event.index, event.attempt, event.failure, now
+                    )
+                    if outcome is not None:
+                        yield event.index, outcome
+                else:  # "lost": never completed, through no fault of the task
+                    pending.append(_Pending(event.index, event.attempt, now))
             if task_timeout is not None:
-                _enforce_deadlines(running, timed_out, task_timeout, now)
+                _enforce_deadlines(
+                    impl.running(), timed_out, task_timeout,
+                    time.monotonic(), impl.kill,
+                )
         completed = True
     finally:
-        if pool is not None:
-            if completed:
-                pool.shutdown(wait=True)
-            else:
-                _terminate_pool(pool)
-        _START_CHANNEL = previous_channel
-        channel.close()
+        impl.close(graceful=completed)
 
 
-def _pool_is_broken(pool) -> bool:
-    return bool(getattr(pool, "_broken", False))
+def _enforce_deadlines(running, timed_out, task_timeout, now, kill) -> None:
+    """Kill any running task past its deadline (at most once per attempt).
 
-
-def _drain_start_markers(channel, in_flight, running) -> None:
-    """Record which worker is running which task attempt.
-
-    Markers for attempts that are no longer in flight (their future
-    already completed) are dropped — a stale marker must never give the
-    watchdog a pid to kill for a task that already finished.
+    ``running`` is the backend's ``{index: started_at}`` view and
+    ``kill`` its kill method; how a kill is effected is the backend's
+    business (SIGKILL for pool workers, lease revocation + disconnect
+    for socket workers).  The backend then emits a ``timeout`` failure
+    event, which charges the victim one attempt; ``timed_out`` stops
+    repeat kills while that event is still in flight.
     """
-    live = {
-        (index, attempt) for index, attempt in in_flight.values()
-    }
-    while not channel.empty():
-        pid, index, attempt, started_at = channel.get()
-        if (index, attempt) in live:
-            running[index] = (pid, started_at)
-
-
-def _enforce_deadlines(running, timed_out, task_timeout, now) -> None:
-    """Kill the worker of any running task past its deadline.
-
-    The SIGKILL breaks the pool; the recovery path charges the victim a
-    ``timeout`` attempt and re-dispatches everything else.
-    """
-    for index, (pid, started_at) in list(running.items()):
+    for index, started_at in list(running.items()):
         if index in timed_out or now - started_at <= task_timeout:
             continue
-        timed_out.add(index)
-        try:
-            os.kill(pid, signal.SIGKILL)
-        except (ProcessLookupError, PermissionError):
-            pass
-
-
-def _classify_break(
-    in_flight, running, timed_out, worker_pids, pending, handle_failure, now
-):
-    """Attribute a broken pool's in-flight tasks and schedule their future.
-
-    Returns ``{"outcomes": [(index, TaskFailure), ...], "charged": bool}``
-    — outcomes to yield (``collect`` exhaustion) and whether any task was
-    charged an attempt (the progress guarantee for the restart loop).
-
-    Classification, per in-flight ``(index, attempt)``:
-
-    * watchdog victims (``timed_out``) — charged a ``timeout`` attempt;
-    * tasks whose recorded worker died *abnormally* (an exit status that
-      is neither a clean 0 nor the executor's own SIGTERM teardown of
-      bystanders) — charged a ``worker-crash`` attempt;
-    * everything else (queued tasks, bystanders whose worker the
-      executor tore down) — re-queued with no attempt charged.
-
-    If nothing is attributable (stdlib teardown details vary), every
-    *running* task is charged a crash attempt instead: over-charging a
-    bystander costs one deterministic re-run, while under-charging
-    could restart forever.
-    """
-    outcomes = []
-    charged = False
-    deferred = []
-    for future, (index, attempt) in list(in_flight.items()):
-        if index in timed_out:
-            charged = True
-            failure = TaskFailure(
-                index=index,
-                kind=FAILURE_TIMEOUT,
-                error_type="TimeoutError",
-                message=(
-                    f"task exceeded its timeout; its worker was killed "
-                    f"and the pool restarted"
-                ),
-                attempts=attempt,
-            )
-            outcome = handle_failure(index, attempt, failure, now)
-            if outcome is not None:
-                outcomes.append((index, outcome))
-        elif _worker_died_abnormally(running.get(index), worker_pids):
-            charged = True
-            pid = running[index][0]
-            failure = _crash_failure(index, attempt, pid, worker_pids)
-            outcome = handle_failure(index, attempt, failure, now)
-            if outcome is not None:
-                outcomes.append((index, outcome))
-        else:
-            deferred.append((index, attempt))
-    if not charged and deferred:
-        # Fall back: blame every task that had actually started.
-        still_deferred = []
-        for index, attempt in deferred:
-            if index in running:
-                charged = True
-                pid = running[index][0]
-                failure = _crash_failure(index, attempt, pid, worker_pids)
-                outcome = handle_failure(index, attempt, failure, now)
-                if outcome is not None:
-                    outcomes.append((index, outcome))
-            else:
-                still_deferred.append((index, attempt))
-        deferred = still_deferred
-    for index, attempt in deferred:
-        pending.append(_Pending(index, attempt, now))
-    return {"outcomes": outcomes, "charged": charged}
-
-
-def _reap_exitcode(process, timeout: float = 0.5):
-    """The worker's exit status, waiting briefly for the OS to reap it.
-
-    A ``BrokenProcessPool`` can surface before the dead child is
-    waitable, in which case a bare ``exitcode`` read (a non-blocking
-    ``waitpid``) still reports ``None``; the short join closes that race
-    so crash classification sees the real exit status.
-    """
-    if process is None:
-        return None
-    process.join(timeout=timeout)
-    return process.exitcode
-
-
-def _worker_died_abnormally(record, worker_pids) -> bool:
-    if record is None:
-        return False
-    pid, _ = record
-    process = worker_pids.get(pid)
-    if process is None:
-        return False
-    exitcode = _reap_exitcode(process)
-    return exitcode is not None and exitcode not in (0, -signal.SIGTERM)
-
-
-def _crash_failure(index, attempt, pid, worker_pids) -> TaskFailure:
-    exitcode = _reap_exitcode(worker_pids.get(pid))
-    return TaskFailure(
-        index=index,
-        kind=FAILURE_CRASH,
-        error_type="BrokenProcessPool",
-        message=(
-            f"worker pid {pid} died while running this task "
-            f"(exit status {exitcode}); the pool was restarted and "
-            f"unfinished tasks re-dispatched"
-        ),
-        attempts=attempt,
-    )
+        if kill(index):
+            timed_out.add(index)
 
 
 # ----------------------------------------------------------------------
@@ -613,6 +407,7 @@ def supervised_map(
     task_timeout: Optional[float] = None,
     backoff: float = 0.0,
     on_result=None,
+    backend: Optional[str] = None,
 ) -> list:
     """:func:`supervise`, reassembled into task order.
 
@@ -628,7 +423,7 @@ def supervised_map(
     fire_next = 0
     for index, outcome in supervise(
         function, tasks, workers=workers, policy=policy, retries=retries,
-        task_timeout=task_timeout, backoff=backoff,
+        task_timeout=task_timeout, backoff=backoff, backend=backend,
     ):
         results[index] = outcome
         filled[index] = True
@@ -649,6 +444,7 @@ def supervised_imap(
     task_timeout: Optional[float] = None,
     backoff: float = 0.0,
     window: Optional[int] = None,
+    backend: Optional[str] = None,
 ):
     """:func:`supervise` as an in-order generator (bounded submissions).
 
@@ -666,6 +462,7 @@ def supervised_imap(
     for index, outcome in supervise(
         function, tasks, workers=workers, policy=policy, retries=retries,
         task_timeout=task_timeout, backoff=backoff, window=window,
+        backend=backend,
     ):
         buffered[index] = outcome
         while next_index in buffered:

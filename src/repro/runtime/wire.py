@@ -1,0 +1,238 @@
+"""Length-prefixed JSON/binary wire protocol for the socket-worker tier.
+
+Every message between the coordinator (:mod:`repro.runtime.backends`)
+and a worker daemon (:mod:`repro.runtime.worker`) is one **frame**::
+
+    +----------------+----------------+----------------+--------------+
+    | magic (2B)     | header len (4B)| blob len (4B)  | header, blob |
+    +----------------+----------------+----------------+--------------+
+
+* ``magic`` — ``b"RW"`` (Repro Wire), so a stray connection speaking a
+  different protocol fails immediately with :class:`WireError` instead
+  of a confusing JSON decode error deep in the coordinator.
+* ``header`` — UTF-8 JSON object carrying the message ``type`` and its
+  small, structured fields (lease ids, task indices, heartbeat stamps,
+  :meth:`~repro.runtime.supervision.TaskFailure.to_json` envelopes).
+  Everything a human might need to read off a packet capture is here.
+* ``blob`` — optional opaque binary payload (pickled task payloads and
+  task results), because grid-cell results are arbitrary Python values
+  the JSON header cannot carry.  A missing blob has length 0.
+
+The coordinator and workers are the **same codebase on every host** (a
+worker is ``python -m repro.worker``), so pickle is a transport detail
+between trusted peers, not a public attack surface; the structured
+routing data rides in JSON precisely so the protocol stays inspectable
+and versionable.  :data:`PROTOCOL_VERSION` is carried in every ``hello``
+and checked by the coordinator — a version skew refuses the worker at
+handshake instead of corrupting a sweep halfway through.
+
+Message vocabulary (``type`` field):
+
+=============  =======================  =================================
+type           direction                fields
+=============  =======================  =================================
+``hello``      worker -> coordinator    ``worker_id``, ``pid``, ``version``
+``welcome``    coordinator -> worker    ``heartbeat_interval``
+``reject``     coordinator -> worker    ``reason``
+``heartbeat``  worker -> coordinator    ``worker_id``
+``lease``      coordinator -> worker    ``lease_id``, ``index``,
+                                        ``attempt``, ``task_label``
+                                        (+ pickled payload blob)
+``result``     worker -> coordinator    ``lease_id``, ``index``,
+                                        ``attempt``, ``status``
+                                        (``ok`` | ``failure``; ok carries
+                                        a pickled value blob, failure a
+                                        JSON envelope)
+``shutdown``   coordinator -> worker    ``reason``
+=============  =======================  =================================
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import socket
+import struct
+from typing import Optional
+
+#: Frame magic: two bytes so a foreign client fails fast at frame 1.
+MAGIC = b"RW"
+
+#: Bump on any incompatible message-vocabulary change; checked at hello.
+PROTOCOL_VERSION = 1
+
+#: ``!`` = network byte order; 2s magic + header length + blob length.
+_PREFIX = struct.Struct("!2sII")
+
+#: Upper bound on a single frame's header or blob (256 MiB): a corrupt
+#: or hostile length prefix must never make the coordinator attempt a
+#: multi-gigabyte allocation.
+MAX_PART_BYTES = 256 * 1024 * 1024
+
+
+class WireError(ConnectionError):
+    """A malformed frame, a protocol violation, or a closed peer."""
+
+
+def encode_frame(header: dict, blob: bytes = b"") -> bytes:
+    """Serialize one frame to bytes (used by tests and the send path)."""
+    header_bytes = json.dumps(header, separators=(",", ":")).encode("utf-8")
+    if len(header_bytes) > MAX_PART_BYTES or len(blob) > MAX_PART_BYTES:
+        raise WireError(
+            f"frame part exceeds {MAX_PART_BYTES} bytes "
+            f"(header {len(header_bytes)}, blob {len(blob)})"
+        )
+    return _PREFIX.pack(MAGIC, len(header_bytes), len(blob)) + header_bytes + blob
+
+
+def send_frame(sock: socket.socket, header: dict, blob: bytes = b"") -> None:
+    """Send one frame; raises :class:`WireError` on a closed peer."""
+    try:
+        sock.sendall(encode_frame(header, blob))
+    except OSError as error:
+        raise WireError(f"send failed: {error}") from error
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    """Read exactly ``count`` bytes or raise :class:`WireError` on EOF."""
+    parts = []
+    remaining = count
+    while remaining:
+        try:
+            chunk = sock.recv(min(remaining, 1 << 20))
+        except OSError as error:
+            raise WireError(f"recv failed: {error}") from error
+        if not chunk:
+            raise WireError("peer closed the connection mid-frame")
+        parts.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(parts)
+
+
+def recv_frame(sock: socket.socket) -> "tuple[dict, bytes]":
+    """Receive one ``(header, blob)`` frame.
+
+    Raises :class:`WireError` on EOF, bad magic, oversized lengths or a
+    header that is not a JSON object — the caller treats any of these as
+    a dead peer and drops the connection.
+    """
+    prefix = _recv_exact(sock, _PREFIX.size)
+    magic, header_len, blob_len = _PREFIX.unpack(prefix)
+    if magic != MAGIC:
+        raise WireError(f"bad frame magic {magic!r} (expected {MAGIC!r})")
+    if header_len > MAX_PART_BYTES or blob_len > MAX_PART_BYTES:
+        raise WireError(
+            f"frame lengths out of range (header {header_len}, "
+            f"blob {blob_len})"
+        )
+    try:
+        header = json.loads(_recv_exact(sock, header_len).decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise WireError(f"frame header is not valid JSON: {error}") from error
+    if not isinstance(header, dict) or "type" not in header:
+        raise WireError(f"frame header must be an object with a 'type': {header!r}")
+    blob = _recv_exact(sock, blob_len) if blob_len else b""
+    return header, blob
+
+
+def dump_payload(value) -> bytes:
+    """Pickle a task payload or result for the blob slot."""
+    return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def load_payload(blob: bytes):
+    """Unpickle a blob produced by :func:`dump_payload`."""
+    return pickle.loads(blob)
+
+
+# ----------------------------------------------------------------------
+# Message constructors: one place defining each header's shape.
+# ----------------------------------------------------------------------
+
+def hello(worker_id: str, pid: int) -> dict:
+    return {
+        "type": "hello",
+        "worker_id": worker_id,
+        "pid": pid,
+        "version": PROTOCOL_VERSION,
+    }
+
+
+def welcome(heartbeat_interval: float) -> dict:
+    return {"type": "welcome", "heartbeat_interval": heartbeat_interval}
+
+
+def reject(reason: str) -> dict:
+    return {"type": "reject", "reason": reason}
+
+
+def heartbeat(worker_id: str) -> dict:
+    return {"type": "heartbeat", "worker_id": worker_id}
+
+
+def lease(
+    lease_id: int, index: int, attempt: int, task_label: str = ""
+) -> dict:
+    return {
+        "type": "lease",
+        "lease_id": lease_id,
+        "index": index,
+        "attempt": attempt,
+        "task_label": task_label,
+    }
+
+
+def result_ok(lease_id: int, index: int, attempt: int) -> dict:
+    return {
+        "type": "result",
+        "lease_id": lease_id,
+        "index": index,
+        "attempt": attempt,
+        "status": "ok",
+    }
+
+
+def result_failure(
+    lease_id: int, index: int, attempt: int, envelope: dict
+) -> dict:
+    return {
+        "type": "result",
+        "lease_id": lease_id,
+        "index": index,
+        "attempt": attempt,
+        "status": "failure",
+        "failure": envelope,
+    }
+
+
+def shutdown(reason: str = "coordinator shutdown") -> dict:
+    return {"type": "shutdown", "reason": reason}
+
+
+def parse_address(text: str) -> "tuple[str, int]":
+    """Parse ``host:port`` (the ``--connect``/``--bind`` argument shape)."""
+    host, separator, port_text = text.rpartition(":")
+    if not separator or not host:
+        raise ValueError(
+            f"address {text!r} must be host:port (e.g. 127.0.0.1:7463)"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"address {text!r} has a non-numeric port") from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"address {text!r} port out of range")
+    return host, port
+
+
+def format_address(address: "tuple[str, int]") -> str:
+    return f"{address[0]}:{address[1]}"
+
+
+def connect(
+    address: "tuple[str, int]", timeout: Optional[float] = None
+) -> socket.socket:
+    """Open a TCP connection with ``TCP_NODELAY`` (small frames, low RTT)."""
+    sock = socket.create_connection(address, timeout=timeout)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return sock

@@ -1,0 +1,379 @@
+"""The socket worker daemon: ``python -m repro.worker --connect host:port``.
+
+One daemon is one remote execution slot for the ``socket`` backend
+(:class:`repro.runtime.backends.SocketBackend`).  Its life is a loop:
+
+1. **Connect + handshake.**  Open a TCP connection to the coordinator,
+   send ``hello`` (worker id, pid, protocol version), expect
+   ``welcome`` (which carries the heartbeat interval).  A ``reject``
+   — protocol version skew — is fatal: crashing loudly at handshake
+   beats corrupting a sweep halfway through.
+2. **Heartbeat.**  A daemon thread sends ``heartbeat`` frames every
+   interval, *including while a task is computing* — a busy worker is
+   not a dead worker, and the coordinator's lease deadlines key off
+   these.
+3. **Serve leases.**  Each ``lease`` frame carries a pickled
+   ``(index, attempt, function, task)`` payload.  The task runs through
+   the exact same execution envelope as every other backend
+   (:func:`repro.runtime.supervision._run_envelope` semantics: compute
+   faults fire, exceptions become :class:`TaskFailure` envelopes), so
+   retries/timeouts/policies behave identically over the wire.  Results
+   go back as ``result`` frames — ``ok`` with a pickled value blob, or
+   ``failure`` with the JSON envelope.
+4. **Reconnect with bounded backoff.**  A dropped connection (a
+   coordinator restart, a partition, a revoked lease closing the link)
+   is not fatal: the daemon reconnects with exponential backoff.  A
+   result computed while disconnected is delivered after reconnecting —
+   the coordinator drops it as stale if the lease was reassigned
+   meanwhile (idempotent cells make either outcome correct).
+   ``--max-idle`` bounds how long the daemon keeps retrying against a
+   coordinator that never comes back.
+
+Network fault injection (the chaos suite's partition/dup scenarios) is
+driven by the same :data:`~repro.runtime.faults.ENV_VAR` spec string as
+compute faults, via :func:`repro.runtime.faults.network_faults`:
+``disconnect`` drops the link before computing (compute while
+partitioned, reconnect, deliver), ``delay`` sleeps before delivery,
+``dup-result`` sends the result frame twice, and ``hb-loss`` suppresses
+heartbeats during the task so the lease expires and is reassigned.
+
+Experiment tasks resolve through the experiment registry; importing
+:mod:`repro.experiments` (which registers every figure) happens
+implicitly when the first task payload unpickles, so a cold daemon
+needs no warm-up step.
+"""
+
+from __future__ import annotations
+
+import argparse
+import logging
+import os
+import socket as socket_module
+import threading
+import time
+from typing import Optional
+
+from repro.runtime import faults as faults_module
+from repro.runtime import wire
+from repro.runtime.supervision import _failure_from_exception
+
+logger = logging.getLogger("repro.worker")
+
+#: Reconnect backoff: deterministic doubling, bounded.
+RECONNECT_BASE = 0.2
+RECONNECT_MAX = 5.0
+
+
+class _Heartbeat:
+    """Background heartbeat sender with a suppression switch (hb-loss)."""
+
+    def __init__(self, sock, worker_id: str, interval: float) -> None:
+        self._sock = sock
+        self._worker_id = worker_id
+        self._interval = max(float(interval), 0.05)
+        self._send_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._suppress_until = 0.0
+        self._thread = threading.Thread(
+            target=self._run, daemon=True, name="repro-worker-heartbeat"
+        )
+
+    def start(self) -> None:
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+
+    def suppress(self, seconds: float) -> None:
+        self._suppress_until = time.monotonic() + seconds
+
+    def send(self, header: dict, blob: bytes = b"") -> None:
+        """Send any frame on the shared socket (serialised with beats)."""
+        with self._send_lock:
+            wire.send_frame(self._sock, header, blob)
+
+    def _run(self) -> None:
+        while not self._stop.wait(self._interval):
+            if time.monotonic() < self._suppress_until:
+                continue
+            try:
+                self.send(wire.heartbeat(self._worker_id))
+            except wire.WireError:
+                return  # the serve loop will notice the dead socket
+
+
+def _run_lease(index: int, attempt: int, function, task):
+    """One attempt, same envelope semantics as every local backend."""
+    try:
+        faults_module.fire(index, attempt)
+        value = function(task)
+    except Exception as error:
+        return ("failure", _failure_from_exception(index, attempt, error))
+    return ("ok", value)
+
+
+def _fault_seconds(specs, kind: str) -> Optional[float]:
+    for spec in specs:
+        if spec.kind == kind:
+            return spec.seconds
+    return None
+
+
+def _has_fault(specs, kind: str) -> bool:
+    return any(spec.kind == kind for spec in specs)
+
+
+class Worker:
+    """The daemon's connect/serve/reconnect state machine."""
+
+    def __init__(
+        self,
+        address: "tuple[str, int]",
+        worker_id: Optional[str] = None,
+        max_idle: Optional[float] = None,
+    ) -> None:
+        self.address = address
+        self.worker_id = worker_id or f"{socket_module.gethostname()}-{os.getpid()}"
+        self.max_idle = max_idle
+        #: A result computed while partitioned, awaiting redelivery:
+        #: ``(header, blob)`` or ``None``.
+        self._undelivered = None
+        #: Network faults this process already fired.  A forfeited lease
+        #: is redelivered with the *same* ``(index, attempt)``, so a
+        #: repeatable network fault would re-fire on every redelivery
+        #: and cascade to the delivery cap; firing once per worker
+        #: process keeps the scenario deterministic and bounded (with
+        #: N workers a lease can bounce at most N times).
+        self._fired_network: set = set()
+        self._shutdown = False
+        self.leases_served = 0
+
+    def run(self) -> int:
+        """Serve until the coordinator says shutdown (0) or gives up (1)."""
+        # Surface a REPRO_FAULTS typo at daemon start, not mid-lease.
+        faults_module.validate_active_faults()
+        attempt = 0
+        last_progress = time.monotonic()
+        while not self._shutdown:
+            try:
+                sock = wire.connect(self.address, timeout=5.0)
+            except OSError as error:
+                attempt += 1
+                delay = min(
+                    RECONNECT_BASE * (2.0 ** (attempt - 1)), RECONNECT_MAX
+                )
+                if (
+                    self.max_idle is not None
+                    and time.monotonic() - last_progress > self.max_idle
+                ):
+                    logger.error(
+                        "no coordinator at %s for %.1fs; giving up (%s)",
+                        wire.format_address(self.address), self.max_idle,
+                        error,
+                    )
+                    return 1
+                logger.info(
+                    "coordinator unreachable (%s); retrying in %.2fs",
+                    error, delay,
+                )
+                time.sleep(delay)
+                continue
+            attempt = 0
+            try:
+                served = self._serve(sock)
+            finally:
+                sock.close()
+            if served:
+                last_progress = time.monotonic()
+        return 0
+
+    def _serve(self, sock) -> bool:
+        """One connection's lifetime; returns whether progress was made."""
+        sock.settimeout(10.0)
+        try:
+            wire.send_frame(
+                sock, wire.hello(self.worker_id, os.getpid())
+            )
+            header, _ = wire.recv_frame(sock)
+        except wire.WireError as error:
+            logger.info("handshake failed: %s", error)
+            return False
+        if header.get("type") == "reject":
+            raise SystemExit(
+                f"coordinator rejected this worker: {header.get('reason')}"
+            )
+        if header.get("type") != "welcome":
+            logger.info("unexpected handshake frame %r", header.get("type"))
+            return False
+        sock.settimeout(None)
+        beats = _Heartbeat(
+            sock, self.worker_id, header.get("heartbeat_interval", 1.0)
+        )
+        beats.start()
+        logger.info(
+            "connected to %s as %s", wire.format_address(self.address),
+            self.worker_id,
+        )
+        progressed = False
+        try:
+            if self._undelivered is not None:
+                # A result computed during a partition: deliver it now.
+                # The coordinator drops it as stale if the lease moved on.
+                header_out, blob_out = self._undelivered
+                beats.send(header_out, blob_out)
+                self._undelivered = None
+                progressed = True
+            while True:
+                try:
+                    frame, blob = wire.recv_frame(sock)
+                except wire.WireError as error:
+                    logger.info("connection lost: %s", error)
+                    return progressed
+                kind = frame.get("type")
+                if kind == "shutdown":
+                    logger.info(
+                        "coordinator shutdown: %s", frame.get("reason")
+                    )
+                    self._shutdown = True
+                    return progressed
+                if kind != "lease":
+                    continue
+                if self._handle_lease(frame, blob, beats):
+                    progressed = True
+                else:
+                    return progressed  # connection burned (fault/partition)
+        finally:
+            beats.stop()
+
+    def _handle_lease(self, frame: dict, blob: bytes, beats) -> bool:
+        """Run one lease; ``False`` if the connection was dropped."""
+        lease_id = frame["lease_id"]
+        index, attempt = frame["index"], frame["attempt"]
+        try:
+            payload_index, payload_attempt, function, task = (
+                wire.load_payload(blob)
+            )
+        except Exception as error:
+            envelope = _failure_from_exception(index, attempt, error)
+            try:
+                beats.send(
+                    wire.result_failure(
+                        lease_id, index, attempt, envelope.to_json()
+                    )
+                )
+            except wire.WireError:
+                return False
+            return True
+        network = tuple(
+            spec
+            for spec in faults_module.network_faults(index, attempt)
+            if (spec.kind, index, attempt) not in self._fired_network
+        )
+        for spec in network:
+            self._fired_network.add((spec.kind, index, attempt))
+        disconnected = False
+        if _has_fault(network, "disconnect"):
+            # Partition: drop the link first, compute anyway, deliver
+            # after reconnecting.
+            logger.info(
+                "injected disconnect before task %d attempt %d",
+                index, attempt,
+            )
+            disconnected = True
+        hb_loss = _fault_seconds(network, "hb-loss")
+        dark_since = None
+        if hb_loss is not None:
+            logger.info(
+                "injected heartbeat loss (%.1fs) during task %d",
+                hb_loss, index,
+            )
+            dark_since = time.monotonic()
+            beats.suppress(hb_loss)
+        status, value = _run_lease(
+            payload_index, payload_attempt, function, task
+        )
+        self.leases_served += 1
+        if status == "ok":
+            header_out = wire.result_ok(lease_id, index, attempt)
+            blob_out = wire.dump_payload(value)
+        else:
+            header_out = wire.result_failure(
+                lease_id, index, attempt, value.to_json()
+            )
+            blob_out = b""
+        if disconnected:
+            self._undelivered = (header_out, blob_out)
+            return False
+        delay = _fault_seconds(network, "delay")
+        if delay is not None:
+            logger.info(
+                "injected %.1fs delivery delay for task %d", delay, index
+            )
+            time.sleep(delay)
+        if dark_since is not None:
+            # The point of hb-loss is an *expired* lease: hold delivery
+            # until the suppression window has actually elapsed, so the
+            # coordinator sees the deadline pass and reassigns first.
+            time.sleep(max(hb_loss - (time.monotonic() - dark_since), 0.0))
+        try:
+            beats.send(header_out, blob_out)
+            if _has_fault(network, "dup-result"):
+                logger.info(
+                    "injected duplicate result for task %d", index
+                )
+                beats.send(header_out, blob_out)
+        except wire.WireError:
+            self._undelivered = (header_out, blob_out)
+            return False
+        return True
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.worker",
+        description=(
+            "Worker daemon for the repro socket backend: connects to a "
+            "coordinator, serves task leases, heartbeats, and reconnects "
+            "with bounded backoff."
+        ),
+    )
+    parser.add_argument(
+        "--connect", required=True, metavar="HOST:PORT",
+        help="coordinator address (the sweep process's REPRO_SOCKET_BIND)",
+    )
+    parser.add_argument(
+        "--worker-id", default=None,
+        help="stable identity for reconnection (default: hostname-pid)",
+    )
+    parser.add_argument(
+        "--max-idle", type=float, default=None, metavar="SECONDS",
+        help="exit non-zero after this long without a reachable coordinator "
+             "(default: retry forever)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="log at DEBUG level"
+    )
+    arguments = parser.parse_args(argv)
+    logging.basicConfig(
+        level=logging.DEBUG if arguments.verbose else logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+    )
+    try:
+        address = wire.parse_address(arguments.connect)
+    except ValueError as error:
+        parser.error(str(error))
+    try:
+        faults_module.validate_active_faults()
+    except faults_module.FaultSpecError as error:
+        parser.error(f"invalid {faults_module.ENV_VAR}: {error}")
+    worker = Worker(
+        address, worker_id=arguments.worker_id, max_idle=arguments.max_idle
+    )
+    try:
+        return worker.run()
+    except KeyboardInterrupt:
+        return 130
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    raise SystemExit(main())

@@ -1,0 +1,12 @@
+"""``python -m repro.worker`` — the socket-backend worker daemon.
+
+Thin entry-point shim; the implementation lives in
+:mod:`repro.runtime.worker` next to the rest of the runtime.
+"""
+
+from repro.runtime.worker import Worker, main
+
+__all__ = ["Worker", "main"]
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -315,3 +315,66 @@ class TestCliChaos:
         assert payload["rows"] == [[0, 0], [1, 10], [2, 20], [3, 30]]
         assert payload["store"]["hits"] == 2
         assert payload["store"]["misses"] == 2
+
+
+class TestCliJsonFailureReport:
+    def test_json_sweep_failure_emits_envelopes(
+        self, chaos_cli_plugin, tmp_path, monkeypatch, capsys
+    ):
+        """--json + collect: the failure report is a machine-readable
+        payload of TaskFailure envelopes (round-trips via from_json)."""
+        from repro.cli import main
+        from repro.runtime.supervision import TaskFailure
+
+        monkeypatch.setenv(faults.ENV_VAR, "raise:1:0")
+        code = main(
+            ["run", "chaos-cli", "--scale", "micro", "--workers", "2",
+             "--artifacts-dir", str(tmp_path / "store"),
+             "--on-error", "collect", "--retries", "1", "--json"]
+        )
+        assert code == 3
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["experiment"] == "chaos-cli"
+        assert payload["failed"] == 1 and payload["total"] == 4
+        (entry,) = payload["failures"]
+        assert entry["cell"] == {"n": 1}
+        envelope = TaskFailure.from_json(entry["failure"])
+        assert envelope.error_type == "InjectedFault"
+        assert envelope.attempts == 2
+        # The human-readable report still lands on stderr.
+        assert "1 of 4 cell(s) failed" in captured.err
+
+    def test_bad_fault_spec_fails_eagerly_with_exit_2(
+        self, chaos_cli_plugin, monkeypatch, capsys
+    ):
+        """A REPRO_FAULTS typo must abort before any cell runs, naming
+        the bad token — not surface minutes into a sweep."""
+        from repro.cli import main
+
+        monkeypatch.setenv(faults.ENV_VAR, "raise:1,bogus:2")
+        assert main(["run", "chaos-cli", "--scale", "micro"]) == 2
+        err = capsys.readouterr().err
+        assert faults.ENV_VAR in err and "bogus" in err
+
+    def test_backend_flag_round_trips_into_the_payload(
+        self, chaos_cli_plugin, monkeypatch, capsys
+    ):
+        from repro.cli import main
+
+        assert main(
+            ["run", "chaos-cli", "--scale", "micro",
+             "--backend", "serial", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["backend"] == "serial"
+        assert payload["rows"] == [[0, 0], [1, 10], [2, 20], [3, 30]]
+
+    def test_unknown_backend_is_a_usage_error(self, chaos_cli_plugin, capsys):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit) as exc_info:
+            build_parser().parse_args(
+                ["run", "chaos-cli", "--backend", "threads"]
+            )
+        assert exc_info.value.code == 2

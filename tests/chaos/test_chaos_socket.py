@@ -1,0 +1,329 @@
+"""Chaos suite for the socket-worker tier (coordinator + live daemons).
+
+Every test here runs the real wire protocol end to end: a
+:class:`~repro.runtime.backends.SocketBackend` coordinator bound to an
+ephemeral localhost port, and ``python -m repro.worker`` daemons spawned
+as genuine subprocesses.  The headline guarantees:
+
+* a Fig. 5 sweep over the socket backend — while one worker daemon is
+  SIGKILLed mid-sweep, another is forced through disconnect/reconnect,
+  a heartbeat-dark worker's lease expires and is reassigned, and a
+  duplicated result frame is deduplicated — is **bit-identical** to the
+  serial reference run;
+* a permanently failing cell under ``collect`` persists every healthy
+  cell, and the follow-up run recomputes **only** the failed cell;
+* a coordinator with no workers degrades to the local backend after the
+  connect deadline and still completes the sweep, identically.
+
+Workers rebuild the experiment state from the task key alone (the
+documented cold-worker path), so these tests also pin the constraint
+that socket task functions and experiments must be importable by module
+path on the worker side.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments import fig5_band_sensitivity
+from repro.experiments.api import SweepFailure
+from repro.experiments.common import ExperimentConfig
+from repro.experiments.store import ArtifactStore
+from repro.runtime import backends, faults
+from repro.runtime.backends import get_backend, shutdown_backends
+from repro.runtime.executor import fork_available
+from repro.runtime.supervision import FAILURE_CRASH
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(),
+    reason="the socket tier's local degradation target requires fork",
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Same shrunken Fig. 5 grid as the local chaos suite: 8 cells.
+MICRO = ExperimentConfig(
+    images_per_class=6, image_size=16, epochs=2, batch_size=8
+)
+SWEEPS = {"LF": (1, 3), "HF": (1, 20)}
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_faults(monkeypatch):
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    faults.clear_faults()
+    yield
+    faults.clear_faults()
+
+
+@pytest.fixture(scope="module")
+def clean_fig5():
+    """The fault-free serial reference of the shrunken Fig. 5 sweep."""
+    return fig5_band_sensitivity.run(MICRO, step_sweeps=SWEEPS)
+
+
+@pytest.fixture()
+def coordinator(monkeypatch):
+    """A socket backend on an ephemeral port with chaos-friendly knobs."""
+    monkeypatch.setenv(backends.SOCKET_BIND_ENV, "127.0.0.1:0")
+    monkeypatch.setenv(backends.SOCKET_CONNECT_DEADLINE_ENV, "10.0")
+    monkeypatch.setenv(backends.SOCKET_LEASE_TIMEOUT_ENV, "2.0")
+    monkeypatch.setenv(backends.SOCKET_HEARTBEAT_ENV, "0.2")
+    shutdown_backends()  # drop any singleton built under other knobs
+    backend = get_backend("socket")
+    backend._ensure_server()
+    yield backend
+    shutdown_backends()
+
+
+def _spawn_worker(address, worker_id: str, worker_faults: str = ""):
+    """Start one real ``python -m repro.worker`` daemon subprocess."""
+    env = os.environ.copy()
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src"), env.get("PYTHONPATH", "")]
+    ).rstrip(os.pathsep)
+    env.pop(faults.ENV_VAR, None)
+    if worker_faults:
+        env[faults.ENV_VAR] = worker_faults
+    return subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.worker",
+            "--connect", f"{address[0]}:{address[1]}",
+            "--worker-id", worker_id,
+            "--max-idle", "30",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+@pytest.fixture()
+def reap():
+    """Kill every spawned worker daemon at teardown, crash or not."""
+    spawned = []
+    yield spawned
+    for process in spawned:
+        if process.poll() is None:
+            process.kill()
+        process.wait(timeout=10)
+
+
+class TestSocketChaosSweep:
+    def test_faulted_socket_sweep_is_bit_identical(
+        self, coordinator, reap, clean_fig5, tmp_path
+    ):
+        """The acceptance scenario, all at once.
+
+        Two live daemons serve the sweep while: cell 2's holder drops
+        its connection before computing (computes partitioned,
+        reconnects, delivers); cell 4's holder goes heartbeat-dark past
+        the 2 s lease timeout (expired lease, reassigned); cell 6's
+        result frame is sent twice (dedup); and one daemon is SIGKILLed
+        mid-sweep (EOF requeues its lease at no attempt charge).  The
+        result must equal the serial reference exactly, and a warm
+        replay must serve every cell from the store.
+        """
+        chaos = "disconnect:2:1,hb-loss:4:1:4,dup-result:6:1"
+        reap.append(_spawn_worker(coordinator.address, "chaos-a", chaos))
+        reap.append(_spawn_worker(coordinator.address, "chaos-b", chaos))
+        victim = _spawn_worker(coordinator.address, "chaos-victim")
+        reap.append(victim)
+        killer = threading.Timer(
+            3.0, lambda: victim.send_signal(signal.SIGKILL)
+        )
+        killer.start()
+        root = str(tmp_path / "store")
+        config = MICRO.with_overrides(
+            workers=3, backend="socket", on_error="retry", retries=2
+        )
+        try:
+            faulted = fig5_band_sensitivity.run(
+                config, step_sweeps=SWEEPS, store=ArtifactStore(root)
+            )
+        finally:
+            killer.cancel()
+        assert faulted.baseline_accuracy == clean_fig5.baseline_accuracy
+        assert faulted.entries == clean_fig5.entries
+        assert not coordinator._degraded  # workers stayed available
+
+        # Every cell was persisted exactly once during the chaos run:
+        # the warm replay recomputes nothing and matches bit for bit.
+        warm_store = ArtifactStore(root)
+        warm = fig5_band_sensitivity.run(
+            MICRO, step_sweeps=SWEEPS, store=warm_store
+        )
+        assert warm_store.misses == 0
+        assert warm.entries == clean_fig5.entries
+
+    def test_collect_over_socket_resumes_only_the_failed_cell(
+        self, coordinator, reap, clean_fig5, tmp_path
+    ):
+        """A permanently cursed cell (worker-side compute fault) under
+        ``collect``: healthy cells persist, the resume recomputes one."""
+        reap.append(
+            _spawn_worker(coordinator.address, "cursed-a", "raise:3:0")
+        )
+        reap.append(
+            _spawn_worker(coordinator.address, "cursed-b", "raise:3:0")
+        )
+        root = str(tmp_path / "store")
+        config = MICRO.with_overrides(
+            workers=2, backend="socket", on_error="collect", retries=1
+        )
+        with pytest.raises(SweepFailure) as exc_info:
+            fig5_band_sensitivity.run(
+                config, step_sweeps=SWEEPS, store=ArtifactStore(root)
+            )
+        sweep_failure = exc_info.value
+        assert len(sweep_failure.failures) == 1
+        cell, envelope = sweep_failure.failures[0]
+        assert envelope.attempts == 2
+        assert envelope.error_type == "InjectedFault"
+
+        # Fault lifted (and a different backend on purpose — the
+        # backend never changes store addresses): only the cursed cell
+        # recomputes, and the result matches the reference exactly.
+        resume_store = ArtifactStore(root)
+        resumed = fig5_band_sensitivity.run(
+            MICRO, step_sweeps=SWEEPS, store=resume_store
+        )
+        assert resume_store.misses == 1
+        assert resume_store.hits == 8  # 7 healthy cells + baseline scalar
+        assert resumed.entries == clean_fig5.entries
+        assert resumed.baseline_accuracy == clean_fig5.baseline_accuracy
+
+
+class TestZeroWorkerDegradation:
+    def test_sweep_completes_locally_after_connect_deadline(
+        self, monkeypatch, clean_fig5, caplog
+    ):
+        """No daemon ever connects: the coordinator logs the degradation
+        and reroutes the whole sweep through the local backend."""
+        monkeypatch.setenv(backends.SOCKET_BIND_ENV, "127.0.0.1:0")
+        monkeypatch.setenv(backends.SOCKET_CONNECT_DEADLINE_ENV, "0.5")
+        shutdown_backends()
+        config = MICRO.with_overrides(
+            workers=2, backend="socket", on_error="retry", retries=1
+        )
+        started = time.monotonic()
+        with caplog.at_level("WARNING", logger="repro.runtime.backends"):
+            result = fig5_band_sensitivity.run(config, step_sweeps=SWEEPS)
+        shutdown_backends()
+        assert any("degrad" in record.message for record in caplog.records)
+        assert time.monotonic() - started > 0.5  # it did wait the deadline
+        assert result.baseline_accuracy == clean_fig5.baseline_accuracy
+        assert result.entries == clean_fig5.entries
+
+
+class TestWorkerDeathMidSweep:
+    def test_all_workers_dying_degrades_and_completes(
+        self, monkeypatch, reap, caplog
+    ):
+        """The only worker os._exits mid-sweep: its lease is requeued at
+        EOF, no fresh worker remains, and after the connect deadline the
+        coordinator reroutes the rest of the map locally.  (``close``
+        resets the degradation for the next map, so the evidence is the
+        logged warning plus the completed, correct result.)"""
+        from repro.runtime.supervision import supervised_map
+
+        monkeypatch.setenv(backends.SOCKET_BIND_ENV, "127.0.0.1:0")
+        monkeypatch.setenv(backends.SOCKET_CONNECT_DEADLINE_ENV, "2.0")
+        monkeypatch.setenv(backends.SOCKET_HEARTBEAT_ENV, "0.2")
+        shutdown_backends()
+        backend = get_backend("socket")
+        backend._ensure_server()
+        try:
+            reap.append(
+                _spawn_worker(backend.address, "doomed", "exit:1:0")
+            )
+            with caplog.at_level(
+                "WARNING", logger="repro.runtime.backends"
+            ):
+                out = supervised_map(
+                    _chaos_square, list(range(4)), workers=1,
+                    policy="retry", retries=1, backend="socket",
+                )
+            assert out == [0, 1, 4, 9]
+            assert any(
+                "all workers lost" in record.message
+                for record in caplog.records
+            )
+        finally:
+            shutdown_backends()
+
+
+class TestLeaseDeliveryCap:
+    """The redelivery bound, unit-tested on the coordinator's internals
+    (spawning N workers that each die on cue is timing-dependent; the
+    cap itself is pure bookkeeping)."""
+
+    def _backend(self):
+        return backends.SocketBackend(bind="127.0.0.1:0")
+
+    def test_under_cap_forfeits_requeue(self):
+        backend = self._backend()
+        lease = backends._Lease(index=3, attempt=1)
+        lease.deliveries = backends.MAX_DELIVERIES - 1
+        with backend._lock:
+            backend._requeue_locked(lease, "its worker disconnected")
+        assert list(backend._queue) == [lease]
+        assert backend._events.empty()
+
+    def test_cap_charges_a_crash_attempt(self):
+        backend = self._backend()
+        lease = backends._Lease(index=3, attempt=2)
+        lease.deliveries = backends.MAX_DELIVERIES
+        with backend._lock:
+            backend._requeue_locked(lease, "its lease expired")
+        assert not backend._queue  # no further circulation
+        event = backend._events.get_nowait()
+        assert (event.index, event.attempt, event.kind) == (3, 2, "failure")
+        assert event.failure.kind == FAILURE_CRASH
+        assert event.failure.error_type == "LeaseExpired"
+        assert "forfeited" in event.failure.message
+
+    def test_stale_delivery_for_retired_lease_is_dropped(self):
+        """The double-completion dedup: a result whose lease id has been
+        retired (completed elsewhere, revoked, or a previous map) must
+        produce no event."""
+        from repro.runtime import wire
+
+        backend = self._backend()
+        link = backends._Link("w1", sock=None, pid=1)
+        backend._handle_result(
+            link, wire.result_ok(lease_id=99, index=0, attempt=1),
+            wire.dump_payload(42),
+        )
+        assert backend._events.empty()
+
+    def test_current_lease_result_is_accepted_once(self):
+        from repro.runtime import wire
+
+        backend = self._backend()
+        lease = backends._Lease(index=5, attempt=1)
+        lease.lease_id = 7
+        lease.worker_id = "w1"
+        backend._leases[7] = lease
+        link = backends._Link("w1", sock=None, pid=1)
+        link.lease_id = 7
+        header = wire.result_ok(lease_id=7, index=5, attempt=1)
+        blob = wire.dump_payload(25)
+        backend._handle_result(link, header, blob)
+        event = backend._events.get_nowait()
+        assert (event.kind, event.value) == ("ok", 25)
+        assert link.lease_id is None
+        # The duplicated frame finds the lease id retired: dropped.
+        backend._handle_result(link, header, blob)
+        assert backend._events.empty()
+
+
+def _chaos_square(value):
+    """Module-level (socket workers unpickle tasks by import path)."""
+    return value * value

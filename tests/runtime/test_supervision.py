@@ -344,3 +344,104 @@ class TestExecutorIntegration:
             )
         assert exc_info.value.failure.index == 2  # subset-local was 1
         assert "task 2" in str(exc_info.value)
+
+
+class TestBackoffDelay:
+    def test_zero_backoff_means_immediate_retry(self):
+        assert supervision._backoff_delay(0.0, 1) == 0.0
+        assert supervision._backoff_delay(0.0, 5) == 0.0
+
+    def test_deterministic_doubling(self):
+        delays = [supervision._backoff_delay(0.1, a) for a in (1, 2, 3)]
+        assert delays == [0.1, 0.2, 0.4]
+
+    @needs_fork
+    def test_zero_backoff_recovers_without_sleeping(self):
+        import time
+
+        started = time.monotonic()
+        with faults.injected("raise:1:1,raise:1:2"):
+            out = supervised_map(
+                _square, list(range(3)), workers=2,
+                policy="retry", retries=2, backoff=0.0,
+            )
+        assert out == [0, 1, 4]
+        # With backoff=0 the two retried attempts are re-submittable
+        # immediately; a 2-second-per-retry wait would blow this budget.
+        assert time.monotonic() - started < 5.0
+
+    @needs_fork
+    def test_positive_backoff_still_converges(self):
+        with faults.injected("raise:1:1"):
+            out = supervised_map(
+                _square, list(range(3)), workers=2,
+                policy="retry", retries=1, backoff=0.05,
+            )
+        assert out == [0, 1, 4]
+
+
+class TestEnforceDeadlines:
+    def test_kills_only_past_deadline_and_only_once(self):
+        killed = []
+        running = {0: 100.0, 1: 104.0}
+        timed_out = set()
+
+        def kill(index):
+            killed.append(index)
+            return True
+
+        supervision._enforce_deadlines(
+            running, timed_out, task_timeout=2.0, now=103.0, kill=kill
+        )
+        assert killed == [0]  # task 1 is only 0s in; task 0 is 3s in
+        assert timed_out == {0}
+        supervision._enforce_deadlines(
+            running, timed_out, task_timeout=2.0, now=104.0, kill=kill
+        )
+        assert killed == [0]  # no repeat kill while the event is in flight
+
+    def test_failed_kill_retries_next_tick(self):
+        attempts = []
+
+        def kill(index):
+            attempts.append(index)
+            return len(attempts) > 1  # first attempt misses
+
+        timed_out = set()
+        supervision._enforce_deadlines(
+            {5: 0.0}, timed_out, task_timeout=1.0, now=10.0, kill=kill
+        )
+        assert timed_out == set()  # not marked: the kill was not issued
+        supervision._enforce_deadlines(
+            {5: 0.0}, timed_out, task_timeout=1.0, now=10.0, kill=kill
+        )
+        assert attempts == [5, 5]
+        assert timed_out == {5}
+
+
+@needs_fork
+class TestTimeoutEdges:
+    def test_timeout_shorter_than_poll_interval_still_enforced(self):
+        # The supervisor polls in ~0.25 s slices; a 0.1 s deadline must
+        # still kill the hang rather than quantise away.
+        with faults.injected(f"hang:0:1:{HANG}"):
+            out = supervised_map(
+                _square, [7], workers=2,
+                policy="retry", retries=1, task_timeout=0.1,
+            )
+        assert out == [49]
+
+    def test_timeout_on_final_attempt_raises_timeout_error(self):
+        # Attempt 1 hangs AND the retry hangs: the last attempt's
+        # timeout must surface as a FAILURE_TIMEOUT TaskError, not hang
+        # the supervisor or misreport as a crash.
+        with faults.injected(f"hang:0:1:{HANG},hang:0:2:{HANG}"):
+            with pytest.raises(TaskError) as exc_info:
+                supervised_map(
+                    _square, [3], workers=2,
+                    policy="retry", retries=1, task_timeout=TIMEOUT,
+                )
+        failure = exc_info.value.failure
+        assert failure.kind == FAILURE_TIMEOUT
+        assert failure.attempts == 2
+        assert "timeout" in failure.message

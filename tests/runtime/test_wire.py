@@ -1,0 +1,119 @@
+"""The length-prefixed wire protocol of the socket-worker tier."""
+
+import socket
+import struct
+
+import pytest
+
+from repro.runtime import wire
+from repro.runtime.wire import (
+    MAGIC,
+    MAX_PART_BYTES,
+    PROTOCOL_VERSION,
+    WireError,
+    dump_payload,
+    encode_frame,
+    format_address,
+    load_payload,
+    parse_address,
+    recv_frame,
+    send_frame,
+)
+
+
+@pytest.fixture()
+def pair():
+    left, right = socket.socketpair()
+    yield left, right
+    left.close()
+    right.close()
+
+
+class TestFrames:
+    def test_round_trip_header_only(self, pair):
+        left, right = pair
+        send_frame(left, wire.heartbeat("w1"))
+        header, blob = recv_frame(right)
+        assert header == {"type": "heartbeat", "worker_id": "w1"}
+        assert blob == b""
+
+    def test_round_trip_with_blob(self, pair):
+        left, right = pair
+        payload = dump_payload({"cell": [1, 2, 3], "value": 4.5})
+        send_frame(left, wire.result_ok(7, 3, 1), payload)
+        header, blob = recv_frame(right)
+        assert header["lease_id"] == 7
+        assert header["status"] == "ok"
+        assert load_payload(blob) == {"cell": [1, 2, 3], "value": 4.5}
+
+    def test_back_to_back_frames_stay_delimited(self, pair):
+        left, right = pair
+        send_frame(left, wire.heartbeat("a"), b"xx")
+        send_frame(left, wire.heartbeat("b"))
+        first, first_blob = recv_frame(right)
+        second, second_blob = recv_frame(right)
+        assert (first["worker_id"], first_blob) == ("a", b"xx")
+        assert (second["worker_id"], second_blob) == ("b", b"")
+
+    def test_bad_magic_rejected(self, pair):
+        left, right = pair
+        frame = encode_frame(wire.heartbeat("w"))
+        left.sendall(b"XX" + frame[2:])
+        with pytest.raises(WireError, match="magic"):
+            recv_frame(right)
+
+    def test_oversized_length_prefix_rejected(self, pair):
+        left, right = pair
+        left.sendall(
+            struct.Struct("!2sII").pack(MAGIC, MAX_PART_BYTES + 1, 0)
+        )
+        with pytest.raises(WireError, match="out of range"):
+            recv_frame(right)
+
+    def test_eof_mid_frame_is_wire_error(self, pair):
+        left, right = pair
+        frame = encode_frame(wire.heartbeat("w"))
+        left.sendall(frame[: len(frame) - 3])
+        left.close()
+        with pytest.raises(WireError, match="closed"):
+            recv_frame(right)
+
+    def test_non_json_header_rejected(self, pair):
+        left, right = pair
+        junk = b"\xff\xfe not json"
+        left.sendall(struct.Struct("!2sII").pack(MAGIC, len(junk), 0) + junk)
+        with pytest.raises(WireError, match="JSON"):
+            recv_frame(right)
+
+    def test_header_without_type_rejected(self, pair):
+        left, right = pair
+        body = b'{"worker_id": "w"}'
+        left.sendall(struct.Struct("!2sII").pack(MAGIC, len(body), 0) + body)
+        with pytest.raises(WireError, match="type"):
+            recv_frame(right)
+
+
+class TestMessages:
+    def test_hello_carries_protocol_version(self):
+        header = wire.hello("worker-1", 123)
+        assert header["version"] == PROTOCOL_VERSION
+        assert header["pid"] == 123
+
+    def test_result_failure_embeds_envelope(self):
+        envelope = {"index": 2, "kind": "exception"}
+        header = wire.result_failure(9, 2, 1, envelope)
+        assert header["status"] == "failure"
+        assert header["failure"] == envelope
+
+
+class TestAddresses:
+    def test_parse_round_trip(self):
+        assert parse_address("127.0.0.1:7463") == ("127.0.0.1", 7463)
+        assert format_address(("127.0.0.1", 7463)) == "127.0.0.1:7463"
+
+    @pytest.mark.parametrize(
+        "text", ["7463", ":7463", "host:", "host:port", "host:70000"]
+    )
+    def test_bad_addresses_rejected(self, text):
+        with pytest.raises(ValueError):
+            parse_address(text)
