@@ -40,11 +40,32 @@ def summarize(report: dict) -> dict:
     return benchmarks
 
 
-def build_entry(report: dict, label: str) -> dict:
+def usable_cpus() -> int:
+    """CPUs actually usable by this process (affinity-aware).
+
+    ``machine_info`` reports the physical count, which overstates what a
+    containerised runner can use; the affinity mask is what the pools
+    see, so it is what makes a 1-CPU container entry distinguishable
+    from a real multi-core run.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def build_entry(report: dict, label: str, backend: str = None) -> dict:
     machine = report.get("machine_info") or {}
+    import numpy as np
+
     return {
         "label": label,
         "recorded": report.get("datetime"),
+        # Stamped on every entry so trajectory consumers can filter
+        # 1-CPU container noise without digging into machine blobs.
+        "cpu_count": usable_cpus(),
+        "backend": backend or os.environ.get("REPRO_BACKEND") or "auto",
+        "dtype": np.dtype(float).name,
         "machine": {
             "node": machine.get("node"),
             "cpu_count": machine.get("cpu", {}).get("count")
@@ -84,9 +105,13 @@ def main() -> None:
         "--trajectory", type=Path, default=Path("BENCH_PR3.json"),
         help="trajectory file to append to (created if missing)",
     )
+    parser.add_argument(
+        "--backend", default=None,
+        help="backend the run used (default: $REPRO_BACKEND or 'auto')",
+    )
     arguments = parser.parse_args()
     report = json.loads(arguments.report.read_text())
-    entry = build_entry(report, arguments.label)
+    entry = build_entry(report, arguments.label, backend=arguments.backend)
     history = append_entry(arguments.trajectory, entry)
     print(
         f"appended entry {arguments.label!r} "

@@ -76,3 +76,69 @@ def test_block_dct_throughput(benchmark, rng=np.random.default_rng(0)):
     blocks = rng.normal(size=(1024, 8, 8))
     coefficients = benchmark(block_dct2d, blocks)
     assert coefficients.shape == blocks.shape
+
+
+# ----------------------------------------------------------------------
+# Entropy decode: scalar walk vs the vectorized FSM (PR 8 tentpole)
+# ----------------------------------------------------------------------
+
+#: Dataset-scale stream count: large enough that the FSM's fixed NumPy
+#: dispatch overhead amortises (the crossover sits near 20 streams).
+DECODE_STREAMS = 512
+
+
+@pytest.fixture(scope="module")
+def entropy_streams():
+    """Encoded scan data for ``DECODE_STREAMS`` small smooth images."""
+    rng = np.random.default_rng(5)
+    codec = GrayscaleJpegCodec(QuantizationTable.standard_luminance(60))
+    coder = codec._standard_coder()
+    y, x = np.mgrid[0:24, 0:24]
+    datas, counts = [], []
+    for _ in range(DECODE_STREAMS):
+        image = (
+            96.0
+            + 80.0 * np.sin(x / rng.uniform(2.0, 9.0))
+            + 60.0 * np.cos(y / rng.uniform(2.0, 9.0))
+            + rng.normal(0.0, 6.0, size=(24, 24))
+        ).clip(0.0, 255.0)
+        zz_blocks, _grid = coder.quantized_blocks(image)
+        datas.append(coder.encode_quantized(zz_blocks))
+        counts.append(zz_blocks.shape[0])
+    return coder, datas, counts
+
+
+def test_entropy_decode_walk(benchmark, entropy_streams):
+    """Reference scalar walk, stream by stream (the pre-FSM decoder)."""
+    coder, datas, counts = entropy_streams
+
+    def walk_all():
+        return [
+            coder.decode_to_zigzag_walk(data, count)
+            for data, count in zip(datas, counts)
+        ]
+
+    results = benchmark(walk_all)
+    assert len(results) == DECODE_STREAMS
+    benchmark.extra_info["streams"] = DECODE_STREAMS
+
+
+def test_entropy_decode_fsm_batch(benchmark, entropy_streams):
+    """Vectorized FSM batch decode of the same streams (>= 3x the walk)."""
+    coder, datas, counts = entropy_streams
+    results = benchmark(coder.decode_to_zigzag_batch, datas, counts)
+    assert len(results) == DECODE_STREAMS
+    reference = coder.decode_to_zigzag_walk(datas[0], counts[0])
+    np.testing.assert_array_equal(results[0], reference)
+    benchmark.extra_info["streams"] = DECODE_STREAMS
+
+
+def test_peek_words(benchmark):
+    """The destuff + 64-bit peek-word precompute behind every decode."""
+    from repro.jpeg.bitstream import peek_words
+
+    rng = np.random.default_rng(9)
+    payload = rng.integers(0, 256, size=64 * 1024, dtype=np.uint8).tobytes()
+    words, bit_count = benchmark(peek_words, payload)
+    assert isinstance(words, np.ndarray) and words.dtype == np.uint64
+    assert bit_count > 0

@@ -37,6 +37,7 @@ from repro.jpeg.codec import (
     GrayscaleJpegCodec,
 )
 from repro.jpeg.quantization import QuantizationTable
+from repro.runtime import shm
 from repro.runtime.executor import chunk_bounds, effective_workers, imap_tasks
 
 
@@ -322,7 +323,11 @@ def modality_header_bytes(
 #: Current parallel compression job: ``(images, codec)``.  Set by the
 #: parent immediately before the worker pool forks (children inherit it
 #: copy-on-write, so image stacks are never pickled) and cleared when
-#: the shards are collected.
+#: the shards are collected.  This is the **fallback** path for
+#: platforms without shared memory: fork inheritance snapshots the
+#: global at fork time, so a warm persistent pool reused by a second
+#: job would silently compress the *first* job's stack — the
+#: shared-memory path below ships the stack per task instead.
 _PARALLEL_JOB = None
 
 
@@ -330,6 +335,22 @@ def _compress_chunk(bounds: tuple) -> "list[CompressionResult]":
     """Worker task: compress one ``[start, stop)`` shard of the job."""
     start, stop = bounds
     images, codec = _PARALLEL_JOB
+    return codec.compress_batch(images[start:stop])
+
+
+def _compress_shard(task: tuple) -> "list[CompressionResult]":
+    """Worker task: compress one shard of a shared-memory image stack.
+
+    The task is self-contained — ``(stack handle, codec, start, stop)``
+    — so it is correct on *any* worker regardless of what that worker
+    inherited at fork time (warm persistent pools, socket daemons on
+    the same host).  The worker maps the parent's segment once per job
+    (:func:`repro.runtime.shm.attach_stack` caches the mapping) and
+    slices its shard without copying the rest of the stack; the parent
+    owns the segment's lifetime.
+    """
+    handle, codec, start, stop = task
+    images = shm.attach_stack(handle)
     return codec.compress_batch(images[start:stop])
 
 
@@ -376,6 +397,22 @@ def iter_compressed_stack(images: np.ndarray, codec, workers: int = 1):
     if workers <= 1 or count <= 1 or len(shards) <= 1:
         for start, stop in shards:
             yield from codec.compress_batch(images[start:stop])
+        return
+    if shm.enabled():
+        # Ship the stack through one shared-memory segment keyed into
+        # the task payloads: self-contained tasks are correct on any
+        # worker (including warm persistent-pool workers forked during
+        # an earlier job, which the fork-inherited global below would
+        # silently serve stale data to) and never pickle pixel data.
+        stack = shm.create_stack(images)
+        try:
+            tasks = [
+                (stack.handle, codec, start, stop) for start, stop in shards
+            ]
+            for chunk in imap_tasks(_compress_shard, tasks, workers=workers):
+                yield from chunk
+        finally:
+            stack.close()
         return
     _PARALLEL_JOB = (images, codec)
     try:

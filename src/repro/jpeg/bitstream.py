@@ -262,16 +262,19 @@ def pack_bits(
     return data.tobytes()
 
 
-def peek_words(data: bytes, byte_stuffing: bool = True) -> "tuple[list, int]":
+def peek_words(
+    data: bytes, byte_stuffing: bool = True
+) -> "tuple[np.ndarray, int]":
     """Return 64-bit big-endian peek words for every byte of a stream.
 
     ``words[i]`` holds bytes ``i .. i+7`` of the (destuffed) payload,
     padded past the end with 1-bits, so the 32 bits starting at any bit
     offset ``p`` are ``(words[p >> 3] >> (32 - (p & 7))) & 0xFFFFFFFF``
     — one table-driven Huffman resolution plus its magnitude bits per
-    peek, with no bit-at-a-time reads.  Returned as a plain Python list
-    because the decode walk indexes it with Python ints.  The second
-    element is the number of real payload bits.
+    peek, with no bit-at-a-time reads.  Returned as a ``uint64`` array
+    so vectorized consumers can gather windows without boxing scalars
+    (the scalar walk converts to a list at its own call site).  The
+    second element is the number of real payload bits.
     """
     if byte_stuffing:
         data = destuff_bytes(data)
@@ -283,4 +286,4 @@ def peek_words(data: bytes, byte_stuffing: bool = True) -> "tuple[list, int]":
     for offset in range(1, 8):
         words <<= np.uint64(8)
         words |= extended[offset:count + 1 + offset]
-    return words.tolist(), count * 8
+    return words, count * 8

@@ -1,0 +1,360 @@
+"""Vectorized stream-parallel Huffman decode.
+
+Replaces the sequential Python loop in
+:meth:`repro.jpeg.codec._ChannelCoder._decode_walk` for the dataset
+path: decoding *many* entropy-coded streams that share one Huffman
+table pair.  Instead of speculating transitions for every bit position
+(which pays for ~8 positions per real token), the decoder runs the
+scalar walk's token loop *once*, but each step is a NumPy pass across
+every stream still inside its current block:
+
+1.  Every stream's destuffed payload is concatenated into one buffer,
+    each followed by a 16-byte ``0xFF`` guard (the same 1-bit padding
+    :func:`repro.jpeg.bitstream.peek_words` appends, so windows that
+    overlap the end of a payload are bit-identical to the scalar
+    walk's).  One 64-bit peek-word array and one 16-bit window array
+    (one window per bit position) cover the whole buffer.
+2.  Blocks are decoded in lockstep: per block index, a vectorized DC
+    step (category, amplitude, DPCM difference) followed by an AC
+    token loop over a shrinking *active set* — streams drop out as
+    their block hits EOB or fills 64 slots, exactly the scalar
+    ``while index < 64``.  Per token, one window gather plus three
+    2**16-entry LUT gathers (slot advance, bit advance, classification
+    flags) replace all per-symbol branching.
+3.  AC coefficient writes are not performed in the loop: (position,
+    destination) pairs are recorded and every amplitude is extracted,
+    sign-decoded and scattered in one batched pass at the end.
+
+Each step mirrors the walk exactly — positions are the walk's
+positions, not speculative ones — so decoded output is identical by
+construction.  Error handling keeps exact parity without paying for it
+in the hot path: the decoder only *flags* streams on which the walk
+would raise (invalid Huffman window, block overrun, zero-category AC
+symbol, or any position past the payload) and the caller re-decodes
+just the flagged streams through the scalar walk, which raises the
+identical exception.  Positions are monotone and clamped at a
+per-stream cap of ``payload_bits + 8``, so every overrun the walk can
+hit — including its ``IndexError``-mapped-to-``EOFError`` paths —
+reduces to a position check here.
+
+The parallelism is across streams: throughput grows with batch size,
+and a batch of one gains nothing (the caller keeps single streams on
+the scalar walk).
+"""
+
+import numpy as np
+
+from repro.jpeg.bitstream import destuff_bytes
+
+#: Guard bytes appended after every stream in the concatenated buffer.
+#: 16 bytes of 0xFF guarantee (a) windows that overlap a payload's end
+#: read the same 1-bit padding the scalar peek words contain, and (b)
+#: the 8-byte word read at a stream's cap position stays inside the
+#: buffer without touching the next stream's bytes.
+GUARD_BYTES = 16
+
+#: Soft limit on bit positions per decode super-batch; bounds peak
+#: memory (~4 bytes per position across the window/word arrays).  The
+#: token loop's per-iteration cost is batch-width-independent overhead
+#: plus element work, so chunks should hold as many streams as memory
+#: allows.
+DEFAULT_CHUNK_POSITIONS = 1 << 24
+
+_EOB = 0x00
+_ZRL = 0xF0
+
+
+def _decode_magnitude_vec(amplitudes: np.ndarray, categories: np.ndarray):
+    """Vectorized :func:`repro.jpeg.bitstream.decode_magnitude`."""
+    amp = amplitudes.astype(np.int64)
+    cat = categories.astype(np.int64)
+    top_bit = amp >> np.maximum(cat - 1, 0)
+    return np.where(top_bit == 0, amp - (np.int64(1) << cat) + 1, amp)
+
+
+def _amplitudes(words, positions, code_lengths, categories):
+    """Magnitude bits following each Huffman code, as int64."""
+    peek = (words[positions >> 3] >> (32 - (positions & 7)).astype(np.uint64))
+    shifts = code_lengths.astype(np.uint64) + categories.astype(np.uint64)
+    masks = (np.uint64(1) << categories.astype(np.uint64)) - np.uint64(1)
+    return ((peek >> (np.uint64(32) - shifts)) & masks).astype(np.int64)
+
+
+def _ac_luts(ac_table):
+    """Per-window AC token LUTs, cached on the table object.
+
+    For each of the 2**16 windows: ``slot_adv`` is the zig-zag slots the
+    token accounts for (``run + 1``; 16 for ZRL; 64 — instant block
+    termination — for EOB and invalid windows), ``pos_adv`` the bits it
+    consumes (code plus magnitude) and ``emit``/``bad``/``normal`` the
+    boolean classification masks, so the token loop needs no per-symbol
+    branching — one fancy gather per decision.
+    """
+    try:
+        return ac_table._fsm_ac_luts
+    except AttributeError:
+        pass
+    symbols, lengths = ac_table.decode_arrays()
+    invalid = symbols < 0
+    normal = ~invalid & (symbols != _EOB) & (symbols != _ZRL)
+    category = (symbols & 0x0F).astype(np.int16)
+
+    slot_adv = ((symbols >> 4) + 1).astype(np.int16)  # ZRL: 15 + 1
+    slot_adv[symbols == _EOB] = 64
+    slot_adv[invalid] = 64
+
+    pos_adv = lengths.astype(np.int16)
+    pos_adv[normal] += category[normal]
+    pos_adv[invalid] = 0
+
+    emit = normal & (category > 0)
+    bad = invalid | (normal & (category == 0))
+
+    luts = (slot_adv, pos_adv, emit, bad, normal)
+    for array in luts:
+        array.setflags(write=False)
+    object.__setattr__(ac_table, "_fsm_ac_luts", luts)
+    return luts
+
+
+def decode_streams(
+    datas, block_counts, dc_table, ac_table,
+    chunk_positions: int = DEFAULT_CHUNK_POSITIONS,
+):
+    """Decode many entropy-coded streams sharing one table pair.
+
+    Parameters
+    ----------
+    datas:
+        Byte streams (still byte-stuffed) to decode.
+    block_counts:
+        Expected block count per stream.
+    dc_table, ac_table:
+        The shared :class:`repro.jpeg.huffman.HuffmanTable` pair.
+    chunk_positions:
+        Soft per-super-batch bit-position budget; bounds peak memory.
+
+    Returns
+    -------
+    (results, flagged):
+        ``results[s]`` is the ``(block_counts[s], 64)`` int32 zig-zag
+        block array for stream ``s`` (garbage for flagged streams);
+        ``flagged`` lists stream indices the scalar walk would raise
+        on — the caller must re-decode those through the reference
+        path to surface the exact exception.
+    """
+    datas = list(datas)
+    block_counts = [int(count) for count in block_counts]
+    if len(datas) != len(block_counts):
+        raise ValueError("datas and block_counts length mismatch")
+    if not datas:
+        return [], []
+    payloads = [destuff_bytes(data) for data in datas]
+    ac_luts = _ac_luts(ac_table)
+    dc_arrays = dc_table.decode_arrays()
+    ac_arrays = ac_table.decode_arrays()
+
+    results = [None] * len(datas)
+    flagged = []
+    start = 0
+    while start < len(payloads):
+        stop = start + 1
+        positions = 8 * (len(payloads[start]) + GUARD_BYTES)
+        while stop < len(payloads):
+            extra = 8 * (len(payloads[stop]) + GUARD_BYTES)
+            if positions + extra > chunk_positions:
+                break
+            positions += extra
+            stop += 1
+        chunk_results, chunk_flags = _decode_chunk(
+            payloads[start:stop], block_counts[start:stop],
+            ac_luts, dc_arrays, ac_arrays,
+        )
+        results[start:stop] = chunk_results
+        flagged.extend(start + index for index in chunk_flags)
+        start = stop
+    return results, flagged
+
+
+def _decode_chunk(payloads, block_counts, ac_luts, dc_arrays, ac_arrays):
+    """Decode one super-batch of destuffed payloads."""
+    ac_slot_lut, ac_pos_lut, ac_emit_lut, ac_bad_lut, ac_normal_lut = ac_luts
+    dc_symbols, dc_lengths = dc_arrays
+    ac_symbols, ac_lengths = ac_arrays
+    stream_count = len(payloads)
+    counts = np.asarray(block_counts, dtype=np.int64)
+    max_blocks = int(counts.max()) if stream_count else 0
+    if max_blocks == 0:
+        return [np.zeros((0, 64), dtype=np.int32)] * stream_count, []
+
+    sizes = np.array([len(payload) for payload in payloads], dtype=np.int64)
+    region_bytes = sizes + GUARD_BYTES
+    base = np.zeros(stream_count + 1, dtype=np.int64)
+    np.cumsum(region_bytes, out=base[1:])
+    total_bytes = int(base[-1])
+
+    buffer = np.full(total_bytes, 0xFF, dtype=np.uint8)
+    for index, payload in enumerate(payloads):
+        if payload:
+            buffer[base[index]:base[index] + sizes[index]] = np.frombuffer(
+                payload, dtype=np.uint8
+            )
+
+    word_count = total_bytes - 7
+    words = buffer[:word_count].astype(np.uint64)
+    for offset in range(1, 8):
+        words <<= np.uint64(8)
+        words |= buffer[offset:offset + word_count]
+
+    # 16-bit Huffman windows at every bit position: column o of row i is
+    # the window starting at bit 8*i + o (uint16 truncation is the mask).
+    win16 = np.empty((word_count, 8), dtype=np.uint16)
+    for offset in range(8):
+        win16[:, offset] = (words >> np.uint64(48 - offset)).astype(np.uint16)
+    win16 = win16.reshape(-1)
+
+    stream_starts = 8 * base[:stream_count]
+    payload_bits = 8 * sizes
+    # Cap sentinel: strictly past the payload (so reaching it always
+    # flags) yet low enough that the 8-byte word read at the cap stays
+    # inside the stream's own guard region.
+    caps = stream_starts + payload_bits + 8
+
+    bad = np.zeros(stream_count, dtype=bool)
+    cursor = stream_starts.copy()
+    dc_diff = np.zeros((stream_count, max_blocks), dtype=np.int64)
+    zigzag = np.zeros((stream_count, max_blocks, 64), dtype=np.int32)
+    zz_flat = zigzag.reshape(-1)
+    # The token loop records every visited token by *reference* — the
+    # arrays it would rebind anyway — and a single batched pass after
+    # the loop classifies tokens, extracts amplitudes and raises flags.
+    # That keeps the sequential part of the decode down to: gather the
+    # window, advance the slot and the cursor, retire finished blocks.
+    rec_pos, rec_slot, rec_dest, rec_stream = [], [], [], []
+    dc_pos, dc_dest = [], []
+
+    for block in range(max_blocks):
+        rows = np.nonzero((counts > block) & ~bad)[0]
+        if not rows.shape[0]:
+            break
+        # --- DC token: the walk's per-block head --------------------
+        pos = cursor[rows]
+        window = win16[pos]
+        category = dc_symbols[window]
+        invalid = (category < 0) | (pos >= caps[rows])
+        if invalid.any():
+            bad[rows[invalid]] = True
+            keep = ~invalid
+            rows = rows[keep]
+            pos = pos[keep]
+            window = window[keep]
+            category = category[keep]
+            if not rows.shape[0]:
+                continue
+        dc_pos.append(pos)
+        dc_dest.append(rows * max_blocks + block)
+        pos = np.minimum(pos + dc_lengths[window] + category, caps[rows])
+
+        # --- AC tokens: lanes retire as their block terminates ------
+        # EOB, a full block and an invalid window (slot advance 64) all
+        # push a lane's slot past 63; a flagged-to-be stream that is
+        # still below 64 slots keeps walking garbage harmlessly until
+        # its block fills — the batched pass flags it either way.
+        # Retired lanes are handled *lazily*: their position freezes
+        # (the masked advance) so the block-end cursor survives, and
+        # every eighth iteration a checkpoint writes those cursors back
+        # and compacts the dead lanes away.  In between, a dead lane
+        # re-gathers the same garbage token — pure element work, while
+        # eager per-iteration bookkeeping costs ~7 NumPy passes.  Dead
+        # lanes' recorded tokens are masked out in the batched pass by
+        # their pre-advance slot.
+        active = rows
+        slot = np.ones(rows.shape[0], dtype=np.int64)
+        active_caps = caps[rows]
+        dest = active * (max_blocks * 64) + block * 64
+        alive = np.ones(rows.shape[0], dtype=bool)
+        iteration = 0
+        while True:
+            window = win16[pos]
+            slot = slot + ac_slot_lut[window]
+            rec_pos.append(pos)
+            rec_slot.append(slot)
+            rec_dest.append(dest)
+            rec_stream.append(active)
+            advance = ac_pos_lut[window] * alive
+            pos = pos + advance
+            np.minimum(pos, active_caps, out=pos)
+            np.logical_and(alive, slot < 64, out=alive)
+            iteration += 1
+            if iteration & 7:
+                continue
+            # Checkpoint: retire dead lanes (positions are frozen at
+            # their block-end value, so the write-back is exact).
+            dead = np.nonzero(~alive)[0]
+            if not dead.shape[0]:
+                continue
+            cursor[active[dead]] = pos[dead]
+            keep = np.nonzero(alive)[0]
+            if not keep.shape[0]:
+                break
+            active = active[keep]
+            pos = pos[keep]
+            slot = slot[keep]
+            active_caps = active_caps[keep]
+            dest = dest[keep]
+            alive = np.ones(keep.shape[0], dtype=bool)
+
+    # --- Batched token classification + amplitude extraction --------
+    if rec_pos:
+        positions = np.concatenate(rec_pos)
+        slots = np.concatenate(rec_slot)
+        dests = np.concatenate(rec_dest)
+        streams = np.concatenate(rec_stream)
+        window = win16[positions]
+        # Walk raise conditions per token: invalid window or
+        # zero-category run/size, or block overrun on a run/size token
+        # (the walk's index >= 64 check; slot is the post-advance value
+        # run + index + 1).  Tokens a retired lane recorded before its
+        # lazy compaction are no tokens of the walk at all — identified
+        # (and masked) by a pre-advance slot already past 63.
+        bad_token = ac_bad_lut[window]
+        bad_token = bad_token | (ac_normal_lut[window] & (slots >= 65))
+        bad_token &= (slots - ac_slot_lut[window]) < 64
+        if bad_token.any():
+            bad[streams[bad_token]] = True
+        # A run/size token with category > 0 lands its coefficient at
+        # slot - 1 unless the block overran.
+        emit = ac_emit_lut[window] & (slots <= 64)
+        hit = np.nonzero(emit)[0]
+        if hit.shape[0]:
+            window = window[hit]
+            symbol = ac_symbols[window].astype(np.int64)
+            category = symbol & 0x0F
+            length = ac_lengths[window].astype(np.int64)
+            amp = _amplitudes(words, positions[hit], length, category)
+            zz_flat[dests[hit] + (slots[hit] - 1)] = _decode_magnitude_vec(
+                amp, category
+            )
+
+    # The walk's trailing truncation check: a valid decode never ends
+    # past the payload (intermediate overruns are monotone, so they
+    # surface here too).
+    bad |= (cursor - stream_starts) > payload_bits
+
+    # --- DPCM DC pass: categories, amplitudes, cumulative sum --------
+    if dc_pos:
+        positions = np.concatenate(dc_pos)
+        dests = np.concatenate(dc_dest)
+        window = win16[positions]
+        category = dc_symbols[window].astype(np.int64)
+        length = dc_lengths[window].astype(np.int64)
+        amp = _amplitudes(words, positions, length, category)
+        dc_diff.reshape(-1)[dests] = _decode_magnitude_vec(amp, category)
+    zigzag[:, :, 0] = np.cumsum(dc_diff, axis=1)
+
+    flagged = [int(index) for index in np.nonzero(bad)[0]]
+    results = [
+        np.ascontiguousarray(zigzag[index, :block_counts[index]])
+        for index in range(stream_count)
+    ]
+    return results, flagged

@@ -68,7 +68,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.runtime import supervision, wire
+from repro.runtime import shm, supervision, wire
 from repro.runtime.executor import (
     default_chunksize,
     effective_workers,
@@ -339,6 +339,53 @@ def _crash_failure(index, attempt, pid, worker_pids) -> TaskFailure:
     )
 
 
+class _ShmFunction:
+    """Picklable wrapper shipping a task's result through shared memory.
+
+    The worker packs the result with :func:`repro.runtime.shm.dump`
+    (large array buffers go to a named segment, only the small
+    :class:`~repro.runtime.shm.ShmPayload` crosses the result pipe);
+    the parent unpacks — and unlinks — on receipt.
+    """
+
+    __slots__ = ("function",)
+
+    def __init__(self, function) -> None:
+        self.function = function
+
+    def __getstate__(self):
+        return self.function
+
+    def __setstate__(self, function) -> None:
+        self.function = function
+
+    def __call__(self, task):
+        return shm.dump(self.function(task))
+
+
+def _shm_function(function):
+    """Wrap ``function`` for shm result shipping when available."""
+    if shm.enabled():
+        return _ShmFunction(function)
+    return function
+
+
+def _unwrap_event(index: int, attempt: int, value) -> BackendEvent:
+    """Build the ``ok`` event for a raw worker value, unpacking shm.
+
+    A payload that fails to unpack (a corrupt or vanished segment —
+    the worker died mid-handoff) charges the attempt like any other
+    transport failure instead of poisoning the supervisor.
+    """
+    try:
+        return BackendEvent(index, attempt, "ok", value=shm.maybe_load(value))
+    except Exception as error:
+        return BackendEvent(
+            index, attempt, "failure",
+            failure=_failure_from_exception(index, attempt, error),
+        )
+
+
 def _timeout_failure(index, attempt) -> TaskFailure:
     return TaskFailure(
         index=index,
@@ -402,8 +449,9 @@ class ForkedBackend(ExecutorBackend):
         with self._plain_pool(count) as pool:
             results = []
             for index, value in enumerate(
-                pool.map(function, tasks, chunksize=chunksize)
+                pool.map(_shm_function(function), tasks, chunksize=chunksize)
             ):
+                value = shm.maybe_load(value)
                 if on_result is not None:
                     on_result(index, value)
                 results.append(value)
@@ -419,18 +467,19 @@ class ForkedBackend(ExecutorBackend):
         if window is None:
             window = 2 * count
         window = max(int(window), 1)
+        wrapped = _shm_function(function)
         with self._plain_pool(count) as pool:
             pending = deque()
             iterator = iter(tasks)
             import itertools
 
             for task in itertools.islice(iterator, window):
-                pending.append(pool.submit(function, task))
+                pending.append(pool.submit(wrapped, task))
             for task in iterator:
-                yield pending.popleft().result()
-                pending.append(pool.submit(function, task))
+                yield shm.maybe_load(pending.popleft().result())
+                pending.append(pool.submit(wrapped, task))
             while pending:
-                yield pending.popleft().result()
+                yield shm.maybe_load(pending.popleft().result())
 
     def _plain_pool(self, count):
         """A context manager yielding a pool for one plain map."""
@@ -440,7 +489,7 @@ class ForkedBackend(ExecutorBackend):
     # -- supervised maps -----------------------------------------------
 
     def open(self, function, tasks, workers: int) -> None:
-        self._function = function
+        self._function = _shm_function(function)
         self._tasks = list(tasks)
         self._count = max(int(workers), 1)
         self._futures = {}
@@ -523,9 +572,7 @@ class ForkedBackend(ExecutorBackend):
                 if error is None:
                     status, value = future.result()
                     if status == "ok":
-                        events.append(
-                            BackendEvent(index, attempt, "ok", value=value)
-                        )
+                        events.append(_unwrap_event(index, attempt, value))
                     else:
                         events.append(
                             BackendEvent(
@@ -577,7 +624,7 @@ class ForkedBackend(ExecutorBackend):
                 self._timed_out.discard(index)
                 status, value = future.result()
                 if status == "ok":
-                    events.append(BackendEvent(index, attempt, "ok", value=value))
+                    events.append(_unwrap_event(index, attempt, value))
                 else:
                     events.append(
                         BackendEvent(index, attempt, "failure", failure=value)
@@ -701,12 +748,16 @@ class ForkedBackend(ExecutorBackend):
         self._timed_out = set()
         self._function = None
         self._tasks = []
+        # A worker killed between creating a result segment and
+        # delivering its name leaves an orphan only this sweep can see.
+        shm.sweep_orphans()
 
     def shutdown(self) -> None:
         self._discard_pool()
         if self._channel is not None:
             self._channel.close()
             self._channel = None
+        shm.sweep_orphans()
 
 
 class PersistentBackend(ForkedBackend):
@@ -741,8 +792,9 @@ class PersistentBackend(ForkedBackend):
         try:
             results = []
             for index, value in enumerate(
-                pool.map(function, tasks, chunksize=chunksize)
+                pool.map(_shm_function(function), tasks, chunksize=chunksize)
             ):
+                value = shm.maybe_load(value)
                 if on_result is not None:
                     on_result(index, value)
                 results.append(value)
@@ -765,18 +817,19 @@ class PersistentBackend(ForkedBackend):
             window = 2 * count
         window = max(int(window), 1)
         pool = self._persistent_pool(count)
+        wrapped = _shm_function(function)
         try:
             pending = deque()
             iterator = iter(tasks)
             import itertools
 
             for task in itertools.islice(iterator, window):
-                pending.append(pool.submit(function, task))
+                pending.append(pool.submit(wrapped, task))
             for task in iterator:
-                yield pending.popleft().result()
-                pending.append(pool.submit(function, task))
+                yield shm.maybe_load(pending.popleft().result())
+                pending.append(pool.submit(wrapped, task))
             while pending:
-                yield pending.popleft().result()
+                yield shm.maybe_load(pending.popleft().result())
         except BrokenProcessPool:
             self._discard_pool()
             raise
@@ -1106,7 +1159,7 @@ class SocketBackend(ExecutorBackend):
                 return
         if header.get("status") == "ok":
             try:
-                value = wire.load_payload(blob)
+                value = wire.load_payload(blob, header.get("payload"))
             except Exception as error:
                 event = BackendEvent(
                     lease.index, lease.attempt, "failure",
@@ -1156,7 +1209,7 @@ class SocketBackend(ExecutorBackend):
                 link.lease_id = lease.lease_id
                 sends.append((link, lease))
         for link, lease in sends:
-            payload = wire.dump_payload(
+            payload, payload_meta = wire.dump_payload(
                 (lease.index, lease.attempt, self._function,
                  self._tasks[lease.index])
             )
@@ -1165,6 +1218,7 @@ class SocketBackend(ExecutorBackend):
                     wire.lease(
                         lease.lease_id, lease.index, lease.attempt,
                         task_label=f"task {lease.index}",
+                        payload=payload_meta,
                     ),
                     payload,
                 )
@@ -1437,6 +1491,10 @@ def shutdown_backends() -> None:
             backend.shutdown()
         except Exception:  # pragma: no cover - best-effort teardown
             logger.exception("backend %s shutdown failed", backend.name)
+    # Final run-level sweep (also the atexit path): collect any result
+    # segment orphaned outside a live backend's close(), e.g. by a
+    # worker killed between creating it and delivering its name.
+    shm.sweep_orphans()
 
 
 atexit.register(shutdown_backends)

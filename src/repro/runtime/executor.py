@@ -16,7 +16,13 @@ Design rules the callers follow:
   classifiers, codecs) lives in a per-figure :class:`TaskState` memo
   that the parent populates before the pool is created; ``fork``-started
   workers inherit it for free, and a cold worker can rebuild it from the
-  config carried by the task itself.
+  config carried by the task itself.  Bulk *array* traffic — image
+  stacks going out, decoded stacks coming back — bypasses pickle
+  entirely through :mod:`repro.runtime.shm`: stacks ship as shared
+  read-only segments keyed by a tiny picklable handle (which also keeps
+  warm persistent-pool workers off stale fork-inherited globals), and
+  large results travel as pickle-protocol-5 out-of-band buffers in
+  per-result segments that the consumer unlinks on read.
 * Results are reassembled in task order, so any worker count produces
   the same output list as the serial path.
 * Randomness, where a task needs it, comes from

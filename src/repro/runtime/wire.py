@@ -55,11 +55,16 @@ import socket
 import struct
 from typing import Optional
 
+import numpy as np
+
 #: Frame magic: two bytes so a foreign client fails fast at frame 1.
 MAGIC = b"RW"
 
 #: Bump on any incompatible message-vocabulary change; checked at hello.
-PROTOCOL_VERSION = 1
+#: Version 2: payload blobs gained a typed encoding — a bare ndarray
+#: ships as raw array bytes with dtype/shape in the JSON header
+#: (``payload`` field) instead of inside an opaque pickle.
+PROTOCOL_VERSION = 2
 
 #: ``!`` = network byte order; 2s magic + header length + blob length.
 _PREFIX = struct.Struct("!2sII")
@@ -135,13 +140,36 @@ def recv_frame(sock: socket.socket) -> "tuple[dict, bytes]":
     return header, blob
 
 
-def dump_payload(value) -> bytes:
-    """Pickle a task payload or result for the blob slot."""
-    return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+def dump_payload(value) -> "tuple[bytes, Optional[dict]]":
+    """Serialize a task payload or result for the blob slot.
+
+    Returns ``(blob, meta)``.  A bare NumPy array ships as its raw
+    C-order bytes with a JSON-able ``meta`` describing dtype and shape
+    (``{"enc": "ndarray", ...}``) — the dominant result shape of the
+    codec sweeps, now inspectable on the wire and never pickled.
+    Everything else pickles as before with ``meta`` ``None``.
+    """
+    if (
+        isinstance(value, np.ndarray)
+        and value.dtype != object
+        and not value.dtype.hasobject
+    ):
+        meta = {
+            "enc": "ndarray",
+            "dtype": value.dtype.str,
+            "shape": list(value.shape),
+        }
+        return np.ascontiguousarray(value).tobytes(), meta
+    return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL), None
 
 
-def load_payload(blob: bytes):
-    """Unpickle a blob produced by :func:`dump_payload`."""
+def load_payload(blob: bytes, meta: Optional[dict] = None):
+    """Invert :func:`dump_payload` given the blob and its header meta."""
+    if meta is not None:
+        if meta.get("enc") != "ndarray":
+            raise WireError(f"unknown payload encoding {meta.get('enc')!r}")
+        array = np.frombuffer(blob, dtype=np.dtype(meta["dtype"]))
+        return array.reshape(tuple(meta["shape"])).copy()
     return pickle.loads(blob)
 
 
@@ -171,25 +199,34 @@ def heartbeat(worker_id: str) -> dict:
 
 
 def lease(
-    lease_id: int, index: int, attempt: int, task_label: str = ""
+    lease_id: int, index: int, attempt: int, task_label: str = "",
+    payload: Optional[dict] = None,
 ) -> dict:
-    return {
+    header = {
         "type": "lease",
         "lease_id": lease_id,
         "index": index,
         "attempt": attempt,
         "task_label": task_label,
     }
+    if payload is not None:
+        header["payload"] = payload
+    return header
 
 
-def result_ok(lease_id: int, index: int, attempt: int) -> dict:
-    return {
+def result_ok(
+    lease_id: int, index: int, attempt: int, payload: Optional[dict] = None
+) -> dict:
+    header = {
         "type": "result",
         "lease_id": lease_id,
         "index": index,
         "attempt": attempt,
         "status": "ok",
     }
+    if payload is not None:
+        header["payload"] = payload
+    return header
 
 
 def result_failure(

@@ -251,7 +251,7 @@ class Worker:
         index, attempt = frame["index"], frame["attempt"]
         try:
             payload_index, payload_attempt, function, task = (
-                wire.load_payload(blob)
+                wire.load_payload(blob, frame.get("payload"))
             )
         except Exception as error:
             envelope = _failure_from_exception(index, attempt, error)
@@ -294,8 +294,10 @@ class Worker:
         )
         self.leases_served += 1
         if status == "ok":
-            header_out = wire.result_ok(lease_id, index, attempt)
-            blob_out = wire.dump_payload(value)
+            blob_out, payload_meta = wire.dump_payload(value)
+            header_out = wire.result_ok(
+                lease_id, index, attempt, payload=payload_meta
+            )
         else:
             header_out = wire.result_failure(
                 lease_id, index, attempt, value.to_json()

@@ -1,0 +1,112 @@
+"""Shared-memory lifecycle under faults: ``/dev/shm`` never leaks.
+
+The shm result path hands segment ownership from worker to coordinator
+by name; these tests prove the three ways that hand-off can be cut —
+clean completion, a permanently failing task, and a worker that dies
+*after* creating a segment but *before* delivering its name — all end
+with zero segments from this run left in ``/dev/shm``.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.runtime import backends, faults, shm
+from repro.runtime.executor import fork_available, map_tasks
+from repro.runtime.supervision import TaskError
+
+pytestmark = [
+    pytest.mark.skipif(
+        not fork_available(),
+        reason="the supervised pool (watchdog, crash recovery) requires fork",
+    ),
+    pytest.mark.skipif(
+        not shm.enabled(), reason="/dev/shm shared memory required"
+    ),
+]
+
+#: Results of this shape (128 KiB) always take the segment path.
+_SHAPE = (128, 128)
+
+#: Env slot for the orphan test's "already died once" marker file.
+MARKER_ENV = "REPRO_TEST_SHM_MARKER"
+
+
+@pytest.fixture(autouse=True)
+def _clean(monkeypatch):
+    monkeypatch.delenv(faults.ENV_VAR, raising=False)
+    faults.clear_faults()
+    yield
+    faults.clear_faults()
+    backends.shutdown_backends()
+    shm.sweep_orphans(prefix=shm.run_prefix())
+
+
+def _big(task):
+    return np.full(_SHAPE, float(task))
+
+
+def _big_or_die(task):
+    """Task 3's first attempt orphans a segment, then the worker dies.
+
+    This is the worst-case crash window: the segment exists but its
+    name is still in the dying worker's memory, so no consumer will
+    ever unlink it.  Only the backend's close-time orphan sweep can.
+    """
+    marker = os.environ[MARKER_ENV]
+    if task == 3 and not os.path.exists(marker):
+        with open(marker, "w"):
+            pass
+        shm.dump(np.zeros(64 * 1024))
+        os._exit(70)
+    return _big(task)
+
+
+def _expect(results, tasks):
+    for task, array in zip(tasks, results):
+        np.testing.assert_array_equal(array, np.full(_SHAPE, float(task)))
+
+
+class TestShmLeaks:
+    def test_completed_sweep_leaves_no_segments(self):
+        results = map_tasks(
+            _big, range(6), workers=2, policy="retry", retries=1
+        )
+        _expect(results, range(6))
+        assert shm.list_segments() == []
+
+    def test_crash_recovery_leaves_no_segments(self):
+        with faults.injected("exit:2:1"):
+            results = map_tasks(
+                _big, range(6), workers=2, policy="retry", retries=2
+            )
+        _expect(results, range(6))
+        assert shm.list_segments() == []
+
+    def test_task_error_leaves_no_segments(self):
+        with faults.injected("raise:1:0"):
+            with pytest.raises(TaskError):
+                map_tasks(
+                    _big, range(6), workers=2, policy="retry", retries=1
+                )
+        # Healthy cells' payloads were consumed as they arrived; the
+        # break-path harvest drained the stragglers; close() swept.
+        assert shm.list_segments() == []
+
+    def test_orphan_from_killed_worker_is_swept(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(MARKER_ENV, str(tmp_path / "died-once"))
+        results = map_tasks(
+            _big_or_die, range(6), workers=2, policy="retry", retries=2
+        )
+        _expect(results, range(6))
+        assert os.path.exists(os.environ[MARKER_ENV])  # the crash happened
+        assert shm.list_segments() == []
+
+    def test_shutdown_sweeps_even_without_a_map_close(self):
+        # Simulate an orphan appearing outside any live map, then a
+        # process-exit shutdown: the registry sweep must collect it.
+        orphan = shm.dump(np.zeros(64 * 1024))
+        assert orphan.segment in shm.list_segments()
+        backends.shutdown_backends()
+        assert shm.list_segments() == []

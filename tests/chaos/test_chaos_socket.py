@@ -299,7 +299,7 @@ class TestLeaseDeliveryCap:
         link = backends._Link("w1", sock=None, pid=1)
         backend._handle_result(
             link, wire.result_ok(lease_id=99, index=0, attempt=1),
-            wire.dump_payload(42),
+            wire.dump_payload(42)[0],
         )
         assert backend._events.empty()
 
@@ -314,7 +314,7 @@ class TestLeaseDeliveryCap:
         link = backends._Link("w1", sock=None, pid=1)
         link.lease_id = 7
         header = wire.result_ok(lease_id=7, index=5, attempt=1)
-        blob = wire.dump_payload(25)
+        blob = wire.dump_payload(25)[0]
         backend._handle_result(link, header, blob)
         event = backend._events.get_nowait()
         assert (event.kind, event.value) == ("ok", 25)

@@ -127,6 +127,32 @@ class TestWorkerDeterminism:
             serial.dataset.images, parallel.dataset.images
         )
 
+    def test_warm_persistent_pool_sees_each_jobs_own_stack(
+        self, luma_table, gray_stack, monkeypatch
+    ):
+        """Regression: fork-inherited stack globals went stale.
+
+        Workers forked for job 1 used to keep job 1's ``_PARALLEL_JOB``
+        global, so a second sweep on a warm persistent pool silently
+        recompressed the *first* stack.  Shared-memory stack handles
+        make each task self-contained; both sweeps must match serial.
+        """
+        from repro.runtime.backends import shutdown_backends
+
+        monkeypatch.setenv("REPRO_BACKEND", "persistent")
+        other_stack = np.flip(gray_stack, axis=0).copy()
+        try:
+            first = compress_batch(gray_stack, luma_table, workers=2)
+            second = compress_batch(other_stack, luma_table, workers=2)
+        finally:
+            shutdown_backends()
+        _assert_results_equal(
+            first, compress_batch(gray_stack, luma_table, workers=1)
+        )
+        _assert_results_equal(
+            second, compress_batch(other_stack, luma_table, workers=1)
+        )
+
     def test_optimized_huffman_sharding(self, luma_table, gray_stack):
         # Per-image optimized tables fall back to the per-image path in
         # each shard; results still independent of the worker count.

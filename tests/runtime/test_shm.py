@@ -1,0 +1,266 @@
+"""The shared-memory buffer layer (repro.runtime.shm).
+
+Covers the pickle-5 payload path (inline vs segment, consumer-side
+unlink), the shared read-only stack path (create/attach cache/evict),
+orphan sweeping by kind, the ``REPRO_SHM=0`` opt-out, and the backend
+integration that motivated the module: large array results crossing
+forked/persistent pools without pickling their pixel data, and the
+persistent-pool stale-stack regression (a warm worker forked during
+job 1 must not serve job 1's images to job 2).
+"""
+
+import numpy as np
+import pytest
+
+from repro.runtime import backends, shm
+from repro.runtime.executor import fork_available, map_tasks
+from repro.runtime.shm import (
+    ShmPayload,
+    ShmUnavailable,
+    StackHandle,
+    attach_stack,
+    create_stack,
+    detach_stacks,
+    dump,
+    is_payload,
+    list_segments,
+    load,
+    maybe_load,
+    sweep_orphans,
+)
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="fork start method required"
+)
+needs_shm = pytest.mark.skipif(
+    not shm.enabled(), reason="/dev/shm shared memory required"
+)
+
+
+@pytest.fixture(autouse=True)
+def _clean_shm(monkeypatch):
+    monkeypatch.delenv(shm.ENV_VAR, raising=False)
+    monkeypatch.delenv(backends.ENV_VAR, raising=False)
+    yield
+    detach_stacks()
+    sweep_orphans(prefix=shm.run_prefix())
+    backends.shutdown_backends()
+
+
+class TestPayloads:
+    def test_small_values_ship_inline(self):
+        payload = dump({"cell": 3, "value": 4.5})
+        assert is_payload(payload)
+        assert payload.segment is None
+        assert load(payload) == {"cell": 3, "value": 4.5}
+        assert list_segments() == []
+
+    def test_small_arrays_stay_below_segment_threshold(self):
+        array = np.arange(16, dtype=np.float64)
+        payload = dump(array)
+        assert payload.segment is None  # 128 B of buffers: inline
+        np.testing.assert_array_equal(load(payload), array)
+
+    @needs_shm
+    def test_large_arrays_ride_a_segment(self):
+        array = np.arange(64 * 1024, dtype=np.float64).reshape(256, 256)
+        payload = dump(array)
+        assert payload.segment is not None
+        assert payload.segment in list_segments()
+        # The structural pickle is tiny: the 512 KiB of pixels are
+        # out-of-band, not inside pickle_data.
+        assert len(payload.pickle_data) < 4096
+        np.testing.assert_array_equal(load(payload), array)
+
+    @needs_shm
+    def test_load_unlinks_by_default(self):
+        payload = dump(np.zeros(64 * 1024))
+        assert payload.segment in list_segments()
+        load(payload)
+        assert payload.segment not in list_segments()
+
+    @needs_shm
+    def test_load_can_keep_the_segment(self):
+        payload = dump(np.ones(64 * 1024))
+        first = load(payload, unlink=False)
+        second = load(payload)  # still present; now consumed
+        np.testing.assert_array_equal(first, second)
+        assert payload.segment not in list_segments()
+
+    @needs_shm
+    def test_min_bytes_threshold_is_respected(self):
+        array = np.arange(64, dtype=np.float64)  # 512 B of buffers
+        payload = dump(array, min_bytes=256)
+        assert payload.segment is not None
+        np.testing.assert_array_equal(load(payload), array)
+
+    @needs_shm
+    def test_mixed_structures_round_trip(self):
+        value = {
+            "images": np.random.default_rng(7).random((8, 64, 64)),
+            "labels": list(range(8)),
+            "meta": {"codec": "jpeg", "quality": 60},
+        }
+        restored = load(dump(value))
+        np.testing.assert_array_equal(restored["images"], value["images"])
+        assert restored["labels"] == value["labels"]
+        assert restored["meta"] == value["meta"]
+
+    def test_maybe_load_passes_plain_values_through(self):
+        assert maybe_load(41) == 41
+        array = np.arange(3)
+        assert maybe_load(array) is array
+
+    def test_disabled_via_env_ships_inline(self, monkeypatch):
+        monkeypatch.setenv(shm.ENV_VAR, "0")
+        assert not shm.enabled()
+        payload = dump(np.zeros(1024 * 1024))
+        assert payload.segment is None
+        assert payload.inline is not None
+
+    def test_missing_segment_surfaces_as_error(self):
+        payload = ShmPayload(b"", segment=f"{shm.run_prefix()}-r-gone",
+                             lengths=[8])
+        with pytest.raises(FileNotFoundError):
+            load(payload)
+
+
+@needs_shm
+class TestSharedStacks:
+    def test_create_attach_round_trip(self):
+        images = np.random.default_rng(3).random((4, 16, 16))
+        stack = create_stack(images)
+        try:
+            attached = attach_stack(stack.handle)
+            np.testing.assert_array_equal(attached, images)
+            assert not attached.flags.writeable
+        finally:
+            detach_stacks()
+            stack.close()
+        assert stack.handle.name not in list_segments()
+
+    def test_attach_is_cached_per_process(self):
+        stack = create_stack(np.arange(12.0).reshape(3, 4))
+        try:
+            first = attach_stack(stack.handle)
+            second = attach_stack(stack.handle)
+            assert first is second
+        finally:
+            detach_stacks()
+            stack.close()
+
+    def test_new_attach_evicts_the_previous_stack(self):
+        first = create_stack(np.zeros((2, 2)))
+        second = create_stack(np.ones((2, 2)))
+        try:
+            attach_stack(first.handle)
+            attach_stack(second.handle)
+            assert list(shm._ATTACHED) == [second.handle.name]
+        finally:
+            detach_stacks()
+            first.close()
+            second.close()
+
+    def test_non_contiguous_input_is_copied(self):
+        base = np.arange(32.0).reshape(4, 8)
+        stack = create_stack(base[:, ::2])
+        try:
+            np.testing.assert_array_equal(
+                attach_stack(stack.handle), base[:, ::2]
+            )
+        finally:
+            detach_stacks()
+            stack.close()
+
+    def test_disabled_env_raises(self, monkeypatch):
+        monkeypatch.setenv(shm.ENV_VAR, "0")
+        with pytest.raises(ShmUnavailable):
+            create_stack(np.zeros(4))
+
+
+class TestSweeping:
+    @needs_shm
+    def test_sweep_removes_result_segments_only(self):
+        orphan = dump(np.zeros(64 * 1024))  # never consumed: an orphan
+        stack = create_stack(np.zeros((4, 4)))
+        try:
+            removed = sweep_orphans()
+            assert orphan.segment in removed
+            # The parent-owned stack survives the sweep: its creator's
+            # ``finally`` owns cleanup, not the backend's close().
+            assert stack.handle.name in list_segments()
+        finally:
+            stack.close()
+
+    @needs_shm
+    def test_prefix_override_scopes_the_sweep(self, monkeypatch):
+        monkeypatch.setenv(shm.PREFIX_ENV_VAR, "repro-shm-testrun")
+        assert shm.run_prefix() == "repro-shm-testrun"
+        payload = dump(np.zeros(64 * 1024))
+        assert payload.segment.startswith("repro-shm-testrun-r-")
+        assert sweep_orphans() == [payload.segment]
+
+    def test_sweep_is_quiet_with_nothing_to_do(self):
+        assert sweep_orphans(prefix="repro-shm-no-such-run-") == []
+
+
+def _stack_mean(task):
+    """Worker body: attach the shared stack and reduce one shard."""
+    handle, start, stop = task
+    return float(attach_stack(handle)[start:stop].sum())
+
+
+def _big_result(scale):
+    """Worker body: a result large enough to take the segment path."""
+    return np.full((128, 128), float(scale))
+
+
+@needs_fork
+@needs_shm
+class TestBackendIntegration:
+    @pytest.mark.parametrize("backend", ["forked", "persistent"])
+    def test_large_results_cross_the_pool(self, backend):
+        results = map_tasks(
+            _big_result, [1, 2, 3, 4], workers=2, backend=backend
+        )
+        for scale, array in zip([1, 2, 3, 4], results):
+            np.testing.assert_array_equal(array, np.full((128, 128), scale))
+        backends.shutdown_backends()
+        assert list_segments(f"{shm.run_prefix()}-r-") == []
+
+    @pytest.mark.parametrize("backend", ["forked", "persistent"])
+    def test_supervised_large_results(self, backend):
+        results = map_tasks(
+            _big_result, [5, 6, 7], workers=2, backend=backend,
+            policy="retry", retries=1,
+        )
+        np.testing.assert_array_equal(results[2], np.full((128, 128), 7.0))
+        backends.shutdown_backends()
+        assert list_segments(f"{shm.run_prefix()}-r-") == []
+
+    def test_shared_stack_tasks_on_a_warm_pool(self):
+        """The stale-inherited-stack regression, distilled.
+
+        A persistent pool forked during job 1 must compute job 2 from
+        job 2's stack — shipped by handle, not inherited at fork time.
+        """
+        first = np.full((6, 32, 32), 1.0)
+        second = np.full((6, 32, 32), 2.0)
+        for images, expected in ((first, 32 * 32), (second, 2 * 32 * 32)):
+            stack = create_stack(images)
+            try:
+                tasks = [(stack.handle, i, i + 1) for i in range(6)]
+                sums = map_tasks(
+                    _stack_mean, tasks, workers=2, backend="persistent"
+                )
+                assert sums == [pytest.approx(expected)] * 6
+            finally:
+                stack.close()
+        backends.shutdown_backends()
+        assert list_segments() == []
+
+    def test_disabled_env_still_computes(self, monkeypatch):
+        monkeypatch.setenv(shm.ENV_VAR, "0")
+        results = map_tasks(_big_result, [9], workers=2, backend="forked")
+        np.testing.assert_array_equal(results[0], np.full((128, 128), 9.0))
+        assert list_segments() == []

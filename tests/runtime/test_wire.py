@@ -3,6 +3,7 @@
 import socket
 import struct
 
+import numpy as np
 import pytest
 
 from repro.runtime import wire
@@ -39,12 +40,47 @@ class TestFrames:
 
     def test_round_trip_with_blob(self, pair):
         left, right = pair
-        payload = dump_payload({"cell": [1, 2, 3], "value": 4.5})
-        send_frame(left, wire.result_ok(7, 3, 1), payload)
+        payload, meta = dump_payload({"cell": [1, 2, 3], "value": 4.5})
+        assert meta is None
+        send_frame(left, wire.result_ok(7, 3, 1, payload=meta), payload)
         header, blob = recv_frame(right)
         assert header["lease_id"] == 7
         assert header["status"] == "ok"
-        assert load_payload(blob) == {"cell": [1, 2, 3], "value": 4.5}
+        assert load_payload(blob, header.get("payload")) == {
+            "cell": [1, 2, 3], "value": 4.5
+        }
+
+    def test_round_trip_with_ndarray_blob(self, pair):
+        """A bare array ships as raw bytes with dtype/shape in the header."""
+        left, right = pair
+        array = np.arange(24, dtype=np.int32).reshape(2, 3, 4)
+        payload, meta = dump_payload(array)
+        assert meta == {"enc": "ndarray", "dtype": "<i4", "shape": [2, 3, 4]}
+        assert payload == array.tobytes()  # raw bytes, not a pickle
+        send_frame(left, wire.result_ok(9, 0, 1, payload=meta), payload)
+        header, blob = recv_frame(right)
+        value = load_payload(blob, header.get("payload"))
+        assert value.dtype == np.int32 and value.shape == (2, 3, 4)
+        np.testing.assert_array_equal(value, array)
+        assert value.flags.writeable  # consumers may mutate their copy
+
+    def test_fortran_and_sliced_arrays_round_trip(self):
+        array = np.asfortranarray(np.arange(12, dtype=np.float64).reshape(3, 4))
+        blob, meta = dump_payload(array[::2])
+        np.testing.assert_array_equal(
+            load_payload(blob, meta), array[::2]
+        )
+
+    def test_object_arrays_fall_back_to_pickle(self):
+        array = np.array([{"a": 1}, None], dtype=object)
+        blob, meta = dump_payload(array)
+        assert meta is None
+        value = load_payload(blob, meta)
+        assert value[0] == {"a": 1} and value[1] is None
+
+    def test_unknown_payload_encoding_is_rejected(self):
+        with pytest.raises(WireError):
+            load_payload(b"", {"enc": "zlib"})
 
     def test_back_to_back_frames_stay_delimited(self, pair):
         left, right = pair
