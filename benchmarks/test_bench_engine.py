@@ -1,0 +1,162 @@
+"""Microbenchmarks of the planned inference engine (``repro.nn.engine``).
+
+Three axes, each compared against the dynamic layer-by-layer reference
+path and recorded with a measured ``speedup`` in ``extra_info``:
+
+- **single-image latency** — the per-request overhead the plan
+  eliminates (no per-call allocation, no layer-list walk);
+- **large-batch throughput** — GoogLeNet, whose dynamic path spends
+  heavily on per-layer temporaries even at batch scale;
+- **thread-count sweep** — planned predict under pinned BLAS thread
+  counts (only meaningful on multi-core runners; recorded everywhere).
+
+The speedup floors assert the ISSUE's acceptance numbers (planned
+float32 ≥ 1.5× at single-image latency, ≥ 1.3× at large-batch
+throughput).  ``REPRO_ENGINE_SPEEDUP_FLOOR`` scales both: shared CI
+runners set it to 0 (record-only) because noisy vCPUs cannot give a
+stable timing signal.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.nn import engine, models
+
+#: Demanded planned-vs-dynamic speedups; 0 disables the assertions.
+ENGINE_SPEEDUP_FLOOR = float(
+    os.environ.get("REPRO_ENGINE_SPEEDUP_FLOOR", "1")
+)
+SINGLE_IMAGE_FLOOR = 1.5 * ENGINE_SPEEDUP_FLOOR
+LARGE_BATCH_FLOOR = 1.3 * ENGINE_SPEEDUP_FLOOR
+
+
+def _model(name="AlexNet"):
+    return models.build_model(
+        name, num_classes=8, input_shape=(1, 32, 32), seed=0, dtype="float32"
+    )
+
+
+def _images(count, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(count, 1, 32, 32)).astype(np.float32)
+
+
+def _time(function, rounds):
+    started = time.perf_counter()
+    for _ in range(rounds):
+        function()
+    return (time.perf_counter() - started) / rounds
+
+
+def test_single_image_latency(benchmark):
+    """Planned single-image predict vs the dynamic path (AlexNet)."""
+    model = _model()
+    image = _images(1)
+    engine.predict_proba(model, image)  # compile + warm the plan
+    model.predict_proba_dynamic(image)  # warm the dynamic scratch caches
+
+    dynamic_seconds = _time(
+        lambda: model.predict_proba_dynamic(image), rounds=30
+    )
+    planned = benchmark(engine.predict_proba, model, image)
+    assert planned.shape == (1, 8)
+
+    planned_seconds = _time(
+        lambda: engine.predict_proba(model, image), rounds=30
+    )
+    speedup = dynamic_seconds / planned_seconds
+    benchmark.extra_info["dynamic_seconds"] = round(dynamic_seconds, 6)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    print(
+        f"\nsingle-image: dynamic {dynamic_seconds * 1e3:.3f} ms, "
+        f"planned {planned_seconds * 1e3:.3f} ms ({speedup:.2f}x)"
+    )
+    if SINGLE_IMAGE_FLOOR > 0:
+        assert speedup >= SINGLE_IMAGE_FLOOR
+
+
+def test_large_batch_throughput(benchmark):
+    """Planned batch-256 predict vs the dynamic path (GoogLeNet)."""
+    model = _model("GoogLeNet")
+    images = _images(256)
+    engine.predict_proba(model, images, batch_size=64)
+    model.predict_proba_dynamic(images, batch_size=64)
+
+    dynamic_seconds = _time(
+        lambda: model.predict_proba_dynamic(images, batch_size=64), rounds=2
+    )
+    planned = benchmark.pedantic(
+        engine.predict_proba, args=(model, images),
+        kwargs={"batch_size": 64}, rounds=3, iterations=1, warmup_rounds=0,
+    )
+    assert planned.shape == (256, 8)
+
+    planned_seconds = _time(
+        lambda: engine.predict_proba(model, images, batch_size=64), rounds=2
+    )
+    speedup = dynamic_seconds / planned_seconds
+    benchmark.extra_info["dynamic_seconds"] = round(dynamic_seconds, 6)
+    benchmark.extra_info["images_per_second"] = round(
+        256 / planned_seconds, 1
+    )
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    print(
+        f"\nbatch-256: dynamic {dynamic_seconds * 1e3:.1f} ms, "
+        f"planned {planned_seconds * 1e3:.1f} ms ({speedup:.2f}x)"
+    )
+    if LARGE_BATCH_FLOOR > 0:
+        assert speedup >= LARGE_BATCH_FLOOR
+
+
+@pytest.mark.parametrize("threads", [1, 2, 4])
+def test_thread_count_sweep(benchmark, threads):
+    """Planned batch predict under a pinned BLAS thread count.
+
+    On a 1-CPU container every row measures the same thing (the pin is
+    a no-op past the affinity mask); the sweep exists for the
+    multi-core trajectory, where per-thread-count rows make BLAS
+    scaling visible in the benchmark history.
+    """
+    usable = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") \
+        else (os.cpu_count() or 1)
+    model = _model()
+    model.blas_threads = threads
+    images = _images(128)
+    engine.predict_proba(model, images, batch_size=64)
+
+    result = benchmark.pedantic(
+        engine.predict_proba, args=(model, images),
+        kwargs={"batch_size": 64}, rounds=3, iterations=1, warmup_rounds=0,
+    )
+    assert result.shape == (128, 8)
+    benchmark.extra_info["blas_threads"] = threads
+    benchmark.extra_info["cpus"] = usable
+    control = engine._resolve_blas_control()
+    benchmark.extra_info["blas_control"] = (
+        control[0] if control is not None else "none"
+    )
+
+
+def test_float16_storage_batch(benchmark):
+    """Batch predict with half-precision activation storage (VGG-16)."""
+    model = _model("VGG-16")
+    images = _images(128)
+    reference = engine.predict_proba(model, images, batch_size=64)
+    model.storage_dtype = "float16"
+    engine.clear_plan_cache(model)
+    engine.predict_proba(model, images, batch_size=64)
+
+    half = benchmark.pedantic(
+        engine.predict_proba, args=(model, images),
+        kwargs={"batch_size": 64}, rounds=3, iterations=1, warmup_rounds=0,
+    )
+    np.testing.assert_allclose(half, reference, atol=5e-3)
+    plan = engine.get_plan(
+        model, (64, 1, 32, 32), np.dtype(np.float16)
+    )
+    full_plan = engine.get_plan(model, (64, 1, 32, 32))
+    benchmark.extra_info["arena_bytes_float16"] = plan.arena_nbytes
+    benchmark.extra_info["arena_bytes_float32"] = full_plan.arena_nbytes

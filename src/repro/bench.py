@@ -1,0 +1,193 @@
+"""The ``repro bench`` subcommand: run, record and gate benchmarks.
+
+Runs the pytest-benchmark suite (or ingests an existing
+``--benchmark-json`` report), appends a summarized entry to the perf
+trajectory via :mod:`benchmarks.record_trajectory`, and — with
+``--check`` — compares the fresh numbers against the last recorded
+entry from a machine with the same usable-CPU count, exiting with
+status :data:`EXIT_BENCH_REGRESSION` when any shared benchmark slowed
+down beyond the threshold.
+
+The comparison uses each benchmark's ``min_seconds``: the minimum is
+the least noisy location statistic for timing benchmarks (it bounds the
+true cost from above with the least scheduler interference), and
+matching on ``cpu_count`` keeps 1-CPU container entries from being
+gated against multi-core runs.
+
+``record_trajectory.py`` stays a standalone script (CI invokes it
+without ``PYTHONPATH``), so it is loaded here by file path rather than
+imported as a package module.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+#: Exit status of ``repro bench --check`` when a regression is found.
+EXIT_BENCH_REGRESSION = 4
+
+
+def _load_record_trajectory(repo_root: Path):
+    """Load ``benchmarks/record_trajectory.py`` as a module by path."""
+    path = repo_root / "benchmarks" / "record_trajectory.py"
+    if not path.exists():
+        raise FileNotFoundError(f"{path} not found")
+    spec = importlib.util.spec_from_file_location("record_trajectory", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _repo_root() -> Path:
+    """The repository root: the directory holding ``benchmarks/``.
+
+    Resolved from the current directory first (the normal invocation),
+    falling back to the package checkout for out-of-tree working dirs.
+    """
+    cwd = Path.cwd()
+    for candidate in (cwd, *cwd.parents):
+        if (candidate / "benchmarks" / "record_trajectory.py").exists():
+            return candidate
+    package_root = Path(__file__).resolve().parents[2]
+    if (package_root / "benchmarks" / "record_trajectory.py").exists():
+        return package_root
+    raise FileNotFoundError(
+        "could not locate benchmarks/record_trajectory.py from "
+        f"{cwd} or the package checkout"
+    )
+
+
+def _run_suite(benchmarks: str, report_path: Path) -> int:
+    """Run the benchmark suite, writing the pytest-benchmark report."""
+    command = [
+        sys.executable, "-m", "pytest", benchmarks, "-q",
+        f"--benchmark-json={report_path}",
+    ]
+    return subprocess.call(command)
+
+
+def _last_comparable(history: list, cpu_count: int, skip_last: bool) -> dict:
+    """The most recent prior entry recorded with the same CPU count."""
+    entries = history[:-1] if skip_last else history
+    for entry in reversed(entries):
+        if entry.get("cpu_count") == cpu_count:
+            return entry
+    return None
+
+
+def check_regressions(entry: dict, baseline: dict, threshold: float) -> list:
+    """Benchmarks in ``entry`` slower than ``baseline`` beyond ``threshold``.
+
+    Only benchmarks present in both entries are compared (new benchmarks
+    cannot regress; removed ones cannot be measured).  Returns a list of
+    ``(name, baseline_min, current_min, slowdown)`` tuples.
+    """
+    regressions = []
+    current = entry.get("benchmarks", {})
+    previous = baseline.get("benchmarks", {})
+    for name in sorted(set(current) & set(previous)):
+        new_min = current[name].get("min_seconds")
+        old_min = previous[name].get("min_seconds")
+        if not new_min or not old_min:
+            continue
+        slowdown = new_min / old_min - 1.0
+        if slowdown > threshold:
+            regressions.append((name, old_min, new_min, slowdown))
+    return regressions
+
+
+def run_bench(arguments) -> int:
+    """Entry point behind ``repro bench`` (see :mod:`repro.cli`)."""
+    try:
+        repo_root = _repo_root()
+        recorder = _load_record_trajectory(repo_root)
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if arguments.from_json is not None:
+        report_path = Path(arguments.from_json)
+        if not report_path.exists():
+            print(f"error: {report_path} not found", file=sys.stderr)
+            return 2
+    else:
+        report_path = repo_root / f"bench-{int(time.time())}.json"
+        status = _run_suite(arguments.benchmarks, report_path)
+        if status != 0:
+            print(
+                f"error: benchmark suite failed with status {status}",
+                file=sys.stderr,
+            )
+            return status if status else 1
+
+    try:
+        report = json.loads(report_path.read_text())
+    except json.JSONDecodeError as error:
+        print(
+            f"error: {report_path} is not valid JSON: {error}",
+            file=sys.stderr,
+        )
+        return 2
+    label = arguments.label or f"bench-{int(time.time())}"
+    entry = recorder.build_entry(report, label)
+    trajectory_path = Path(arguments.trajectory)
+    if not trajectory_path.is_absolute():
+        trajectory_path = repo_root / trajectory_path
+
+    if trajectory_path.exists():
+        history = json.loads(trajectory_path.read_text())
+        if not isinstance(history, list):
+            print(
+                f"error: {trajectory_path} is not a JSON list",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        history = []
+
+    recorded = False
+    if not arguments.no_record:
+        recorder.append_entry(trajectory_path, entry)
+        recorded = True
+        print(
+            f"recorded {label!r} ({len(entry['benchmarks'])} benchmarks) "
+            f"to {trajectory_path}"
+        )
+
+    if arguments.check:
+        baseline = _last_comparable(
+            history + [entry] if recorded else history,
+            entry["cpu_count"],
+            skip_last=recorded,
+        )
+        if baseline is None:
+            print(
+                f"check: no prior entry with cpu_count="
+                f"{entry['cpu_count']} to compare against; passing"
+            )
+            return 0
+        regressions = check_regressions(entry, baseline, arguments.threshold)
+        if regressions:
+            print(
+                f"check: {len(regressions)} regression(s) vs "
+                f"{baseline.get('label')!r} "
+                f"(threshold {arguments.threshold:.0%}):",
+                file=sys.stderr,
+            )
+            for name, old_min, new_min, slowdown in regressions:
+                print(
+                    f"  {name}: {old_min * 1e3:.3f} ms -> "
+                    f"{new_min * 1e3:.3f} ms (+{slowdown:.0%})",
+                    file=sys.stderr,
+                )
+            return EXIT_BENCH_REGRESSION
+        print(
+            f"check: no regressions vs {baseline.get('label')!r} "
+            f"(threshold {arguments.threshold:.0%})"
+        )
+    return 0

@@ -137,6 +137,27 @@ def build_parser() -> argparse.ArgumentParser:
             "sets the same knob)",
         )
         sub.add_argument(
+            "--engine", choices=("plan", "dynamic"), default=None,
+            help="inference engine for trained classifiers: 'plan' "
+            "compiles shape-specialized arena-backed execution plans "
+            "(default), 'dynamic' keeps the legacy layer-by-layer walk; "
+            "float32/float64 results are bit-identical either way "
+            "(REPRO_NN_ENGINE sets the same knob)",
+        )
+        sub.add_argument(
+            "--storage-dtype", choices=("float16",), default=None,
+            dest="storage_dtype",
+            help="store planned activations half-precision (compute stays "
+            "in the configured compute dtype); changes results at the "
+            "accuracy level, so it addresses distinct artifacts",
+        )
+        sub.add_argument(
+            "--blas-threads", type=int, default=None, dest="blas_threads",
+            help="BLAS thread count pinned around planned inference "
+            "(REPRO_BLAS_THREADS sets the same knob); results are "
+            "identical for any thread count",
+        )
+        sub.add_argument(
             "--json", action="store_true", dest="as_json",
             help="emit the result as JSON on stdout instead of a table",
         )
@@ -144,6 +165,49 @@ def build_parser() -> argparse.ArgumentParser:
             "--progress", action="store_true",
             help="report cell completion (done/total) on stderr",
         )
+
+    bench = subparsers.add_parser(
+        "bench",
+        help="run the benchmark suite and append to the perf trajectory",
+        description="Run the pytest-benchmark suite (or ingest an "
+        "existing --benchmark-json report), append a summarized entry "
+        "to the perf trajectory, and optionally gate on regressions "
+        "against the last recorded entry from a machine with the same "
+        "CPU count.",
+    )
+    bench.add_argument(
+        "--from-json", default=None, dest="from_json",
+        help="ingest an existing pytest-benchmark JSON report instead "
+        "of running the suite",
+    )
+    bench.add_argument(
+        "--benchmarks", default="benchmarks", dest="benchmarks",
+        help="benchmark file or directory passed to pytest "
+        "(default: benchmarks/)",
+    )
+    bench.add_argument(
+        "--label", default=None,
+        help="label stamped into the trajectory entry "
+        "(default: bench-<unix time>)",
+    )
+    bench.add_argument(
+        "--trajectory", default="BENCH_PR3.json",
+        help="trajectory JSON file to append to (default: BENCH_PR3.json)",
+    )
+    bench.add_argument(
+        "--check", action="store_true",
+        help="compare against the last same-cpu_count entry and exit "
+        "with status 4 when any benchmark regressed beyond --threshold",
+    )
+    bench.add_argument(
+        "--threshold", type=float, default=0.2,
+        help="allowed fractional slowdown per benchmark under --check "
+        "(default 0.2 = 20%%)",
+    )
+    bench.add_argument(
+        "--no-record", action="store_true", dest="no_record",
+        help="do not append to the trajectory (useful with --check)",
+    )
     return parser
 
 
@@ -200,6 +264,12 @@ def _run(arguments: argparse.Namespace) -> int:
         overrides["task_timeout"] = arguments.task_timeout
     if arguments.backend is not None:
         overrides["backend"] = arguments.backend
+    if arguments.engine is not None:
+        overrides["inference_engine"] = arguments.engine
+    if arguments.storage_dtype is not None:
+        overrides["storage_dtype"] = arguments.storage_dtype
+    if arguments.blas_threads is not None:
+        overrides["blas_threads"] = arguments.blas_threads
     try:
         config = SCALES[arguments.scale]().with_overrides(**overrides)
     except ValueError as error:
@@ -310,6 +380,10 @@ def main(argv: Optional["list[str]"] = None) -> int:
         for name in names:
             print(f"{name.ljust(width)}  {build_experiment(name).title}")
         return 0
+    if arguments.command == "bench":
+        from repro.bench import run_bench
+
+        return run_bench(arguments)
     return _run(arguments)
 
 

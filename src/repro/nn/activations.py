@@ -44,6 +44,27 @@ class ReLU(Layer):
         self._mask = None
         self._fused_output = outputs
 
+    def plan_inference(self, builder, source):
+        # The standalone (unfused) rectification: the exact mask-multiply
+        # sequence of forward(), for bit-parity with the dynamic path.
+        out = builder.activation(source.shape)
+        mask = builder.scratch(source.shape, dtype=bool)
+
+        def build(bind):
+            x = bind(source)
+            y = bind(out)
+            m = bind(mask)
+
+            def step():
+                np.greater(x, 0, out=m)
+                np.multiply(x, m, out=y)
+
+            return step
+
+        builder.emit(build, reads=(source,), writes=(out,), scratch=(mask,))
+        builder.free(mask)
+        return out
+
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._mask is None:
             if self._fused_output is None:
@@ -66,6 +87,27 @@ class LeakyReLU(Layer):
         self._mask = inputs > 0
         return np.where(self._mask, inputs, self.negative_slope * inputs)
 
+    def plan_inference(self, builder, source):
+        out = builder.activation(source.shape)
+        mask = builder.scratch(source.shape, dtype=bool)
+
+        def build(bind):
+            x = bind(source)
+            y = bind(out)
+            m = bind(mask)
+            slope = self.negative_slope
+
+            def step():
+                np.greater(x, 0, out=m)
+                np.multiply(x, slope, out=y)
+                np.copyto(y, x, where=m)
+
+            return step
+
+        builder.emit(build, reads=(source,), writes=(out,), scratch=(mask,))
+        builder.free(mask)
+        return out
+
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._mask is None:
             raise RuntimeError("backward called before forward")
@@ -82,6 +124,21 @@ class Tanh(Layer):
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
         self._output = np.tanh(as_float(inputs))
         return self._output
+
+    def plan_inference(self, builder, source):
+        out = builder.activation(source.shape)
+
+        def build(bind):
+            x = bind(source)
+            y = bind(out)
+
+            def step():
+                np.tanh(x, out=y)
+
+            return step
+
+        builder.emit(build, reads=(source,), writes=(out,))
+        return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._output is None:

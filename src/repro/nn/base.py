@@ -72,6 +72,20 @@ class Layer:
         for parameter in self.parameters():
             parameter.zero_grad()
 
+    def plan_inference(self, builder, source):
+        """Emit this layer's inference steps into an execution plan.
+
+        Layers that support the planned engine (:mod:`repro.nn.engine`)
+        override this to allocate arena slots and emit kernel steps via
+        ``builder``, returning the output slot.  The default refuses,
+        which makes the engine fall back to the dynamic path.
+        """
+        from repro.nn.engine import PlanError
+
+        raise PlanError(
+            f"{type(self).__name__} does not support planned inference"
+        )
+
     def __call__(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
         return self.forward(inputs, training=training)
 
@@ -98,10 +112,17 @@ class Sequential(Layer):
         self.layers = list(layers) if layers is not None else []
         self.name = name
         self.fuse_inference = True
+        #: Inference-engine knobs (see repro.nn.engine.predict_proba):
+        #: None defers to the REPRO_NN_ENGINE / REPRO_BLAS_THREADS
+        #: environment and the "plan" / full-precision defaults.
+        self.inference_engine = None
+        self.storage_dtype = None
+        self.blas_threads = None
 
     def add(self, layer: Layer) -> "Sequential":
         """Append a layer and return ``self`` for chaining."""
         self.layers.append(layer)
+        self.__dict__.pop("_plan_cache", None)
         return self
 
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
@@ -160,8 +181,61 @@ class Sequential(Layer):
             return parameter.dtype
         return REFERENCE_DTYPE
 
+    def plan_children(self) -> "list[Layer]":
+        """Child layers reachable by the plan compiler (cache keying)."""
+        return list(self.layers)
+
+    def plan_inference(self, builder, source):
+        """Compile the children into plan steps, mirroring ``forward``.
+
+        Applies the exact fusion decisions of the dynamic inference path
+        (conv → ReLU pairs collapse into the producer's fused kernel
+        when ``fuse_inference`` is set), frees every intermediate slot
+        once its consumer has been emitted, and never frees ``source``
+        (the caller owns it — e.g. a residual block still feeding it to
+        the shortcut branch).
+        """
+        fuse = getattr(self, "fuse_inference", True)
+        previous = source
+        index = 0
+        while index < len(self.layers):
+            layer = self.layers[index]
+            successor = (
+                self.layers[index + 1]
+                if fuse and index + 1 < len(self.layers) else None
+            )
+            if (
+                successor is not None
+                and hasattr(layer, "plan_fused_relu")
+                and getattr(successor, "accepts_fused_relu", False)
+            ):
+                output = layer.plan_fused_relu(builder, previous)
+                index += 2
+            else:
+                output = layer.plan_inference(builder, previous)
+                index += 1
+            if previous is not source and output is not previous:
+                builder.free(previous)
+            previous = output
+        return previous
+
     def predict_proba(self, inputs: np.ndarray, batch_size: int = 64) -> np.ndarray:
-        """Class probabilities for a batch of inputs (inference mode)."""
+        """Class probabilities for a batch of inputs (inference mode).
+
+        Runs through the planned engine (:mod:`repro.nn.engine`) —
+        bit-identical to the dynamic path for float32/float64 — honouring
+        the model's ``inference_engine`` / ``storage_dtype`` /
+        ``blas_threads`` knobs, and falling back to
+        :meth:`predict_proba_dynamic` when the model cannot be planned.
+        """
+        from repro.nn import engine
+
+        return engine.predict_proba(self, inputs, batch_size=batch_size)
+
+    def predict_proba_dynamic(
+        self, inputs: np.ndarray, batch_size: int = 64
+    ) -> np.ndarray:
+        """The legacy layer-by-layer probabilities (the parity reference)."""
         from repro.nn.losses import softmax
 
         inputs = np.asarray(inputs, dtype=self.dtype)

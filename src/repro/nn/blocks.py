@@ -12,6 +12,7 @@ from repro.nn.activations import ReLU
 from repro.nn.base import Layer, Parameter, Sequential
 from repro.nn.conv import Conv2D
 from repro.nn.dtype import as_float, resolve_dtype
+from repro.nn.engine import PlanError
 from repro.nn.norm import BatchNorm2D
 
 
@@ -71,6 +72,47 @@ class ResidualBlock(Layer):
         summed = body_out + identity
         self._final_relu_mask = summed > 0
         return summed * self._final_relu_mask
+
+    def plan_children(self) -> "list[Layer]":
+        children = [self.body]
+        if self.shortcut is not None:
+            children.append(self.shortcut)
+        return children
+
+    def plan_inference(self, builder, source):
+        body_out = self.body.plan_inference(builder, source)
+        if self.shortcut is not None:
+            identity = self.shortcut.plan_inference(builder, source)
+        else:
+            identity = source
+        if identity.shape != body_out.shape:
+            raise PlanError(
+                f"residual shapes disagree: body {body_out.shape} "
+                f"vs shortcut {identity.shape}"
+            )
+        out = builder.activation(body_out.shape)
+        mask = builder.scratch(body_out.shape, dtype=bool)
+
+        def build(bind):
+            b = bind(body_out)
+            i = bind(identity)
+            y = bind(out)
+            m = bind(mask)
+
+            def step():
+                np.add(b, i, out=y)
+                np.greater(y, 0, out=m)
+                np.multiply(y, m, out=y)
+
+            return step
+
+        builder.emit(
+            build, reads=(body_out, identity), writes=(out,), scratch=(mask,)
+        )
+        builder.free(mask, body_out)
+        if identity is not source:
+            builder.free(identity)
+        return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._final_relu_mask is None:
@@ -166,6 +208,48 @@ class InceptionBlock(Layer):
         ]
         return np.concatenate(outputs, axis=1)
 
+    def plan_children(self) -> "list[Layer]":
+        return [self.branch1, self.branch3, self.branch5, self.branch_pool]
+
+    def plan_inference(self, builder, source):
+        branch_outs = [
+            self.branch1.plan_inference(builder, source),
+            self.branch3.plan_inference(builder, source),
+            self.branch5.plan_inference(builder, source),
+            self.branch_pool.plan_inference(builder, source),
+        ]
+        spatial = branch_outs[0].shape[2:]
+        for branch_out, channels in zip(branch_outs, self._split_channels):
+            if (
+                branch_out.shape[1] != channels
+                or branch_out.shape[2:] != spatial
+            ):
+                raise PlanError(
+                    f"inception branch produced {branch_out.shape}, "
+                    f"expected ({source.shape[0]}, {channels}, *{spatial})"
+                )
+        out = builder.activation(
+            (source.shape[0], self.out_channels) + spatial
+        )
+
+        def build(bind):
+            y = bind(out)
+            targets = []
+            start = 0
+            for branch_out, channels in zip(branch_outs, self._split_channels):
+                targets.append((y[:, start:start + channels], bind(branch_out)))
+                start += channels
+
+            def step():
+                for target, branch_value in targets:
+                    np.copyto(target, branch_value)
+
+            return step
+
+        builder.emit(build, reads=tuple(branch_outs), writes=(out,))
+        builder.free(*branch_outs)
+        return out
+
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         grad_output = as_float(grad_output)
         grads = []
@@ -214,6 +298,53 @@ class _PaddedMaxPool(Layer):
         outputs = windows.max(axis=0)
         self._cache = (inputs.shape, argmax)
         return outputs
+
+    def plan_inference(self, builder, source):
+        if source.ndim != 4:
+            raise PlanError(f"expected NCHW input, got {source.shape}")
+        batch, channels, height, width = source.shape
+        out = builder.activation(source.shape)
+        padded = builder.scratch((batch, channels, height + 2, width + 2))
+        windows = builder.scratch((9, batch, channels, height, width))
+
+        def build(bind):
+            x = bind(source)
+            y = bind(out)
+            padded_view = bind(padded)
+            window_buffer = bind(windows)
+            interior = padded_view[:, :, 1:1 + height, 1:1 + width]
+            # Borders must be refilled every run: the arena may hand
+            # these bytes to another slot within the same pass.
+            borders = (
+                padded_view[:, :, :1, :],
+                padded_view[:, :, 1 + height:, :],
+                padded_view[:, :, 1:1 + height, :1],
+                padded_view[:, :, 1:1 + height, 1 + width:],
+            )
+            shifts = [
+                padded_view[:, :, dy:dy + height, dx:dx + width]
+                for dy in range(3)
+                for dx in range(3)
+            ]
+
+            def step():
+                for border in borders:
+                    border[...] = -np.inf
+                np.copyto(interior, x)
+                for index, shifted in enumerate(shifts):
+                    np.copyto(window_buffer[index], shifted)
+                window_buffer.max(axis=0, out=y)
+
+            return step
+
+        builder.emit(
+            build,
+            reads=(source,),
+            writes=(out,),
+            scratch=(padded, windows),
+        )
+        builder.free(padded, windows)
+        return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:

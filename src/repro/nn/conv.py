@@ -3,11 +3,26 @@
 from __future__ import annotations
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.nn.base import Layer, Parameter
 from repro.nn.dtype import resolve_dtype
+from repro.nn.engine import PlanError
 from repro.nn.im2col import col2im_patches, conv_output_size, im2col_patches
 from repro.nn.init import he_normal
+
+#: Per-shape scratch buffers kept per layer.  Two shapes flow through a
+#: typical predict/fit loop (the full tile and the remainder tile); a
+#: couple more covers validation sets of a different size without
+#: letting pathological callers grow the cache without bound.
+_SCRATCH_SLOTS = 4
+
+
+def _cached_scratch(cache: dict, key, buffer) -> None:
+    """Insert ``buffer`` under ``key``, evicting oldest beyond the bound."""
+    while len(cache) >= _SCRATCH_SLOTS:
+        cache.pop(next(iter(cache)))
+    cache[key] = buffer
 
 
 class Conv2D(Layer):
@@ -75,19 +90,24 @@ class Conv2D(Layer):
             np.zeros(out_channels), name=f"{name}.bias", dtype=self.dtype
         )
         self._cache = None
-        self._patch_scratch = None
-        self._grad_patch_scratch = None
+        self._patch_scratch = {}
+        self._grad_patch_scratch = {}
 
     def _patches(self, inputs: np.ndarray) -> np.ndarray:
+        # Keyed per (shape, dtype) so the full-tile / remainder-tile
+        # alternation of predict and fit loops hits a stable buffer
+        # instead of reallocating the scratch twice per call.
+        key = (inputs.shape, inputs.dtype.str)
         patches = im2col_patches(
             inputs,
             self.kernel_size,
             self.kernel_size,
             self.stride,
             self.padding,
-            out=self._patch_scratch,
+            out=self._patch_scratch.get(key),
         )
-        self._patch_scratch = patches
+        if patches is not self._patch_scratch.get(key):
+            _cached_scratch(self._patch_scratch, key, patches)
         return patches
 
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:
@@ -121,6 +141,110 @@ class Conv2D(Layer):
         outputs = self.forward(inputs, training=False)
         return np.maximum(outputs, 0.0, out=outputs)
 
+    def plan_inference(self, builder, source):
+        return self._plan_conv(builder, source, fuse_relu=False)
+
+    def plan_fused_relu(self, builder, source):
+        """Plan hook for the fused conv → ReLU inference epilogue."""
+        return self._plan_conv(builder, source, fuse_relu=True)
+
+    def _plan_conv(self, builder, source, fuse_relu: bool):
+        """Emit the im2col-GEMM kernel into an inference plan.
+
+        Same operation sequence as :meth:`forward` (gather, one batched
+        ``matmul``, in-place bias add, optional in-place ``maximum``),
+        so outputs are bit-identical to the dynamic path; the patch
+        tensor and padded-input buffer live in reusable arena scratch.
+        1x1/stride-1/pad-0 convolutions skip the gather entirely — the
+        input reshaped to ``(N, C, H*W)`` *is* the patch tensor.
+        """
+        if source.ndim != 4 or source.shape[1] != self.in_channels:
+            raise PlanError(
+                f"expected (N, {self.in_channels}, H, W) input, "
+                f"got {source.shape}"
+            )
+        batch, _, height, width = source.shape
+        kernel = self.kernel_size
+        stride = self.stride
+        pad = self.padding
+        out_h = conv_output_size(height, kernel, stride, pad)
+        out_w = conv_output_size(width, kernel, stride, pad)
+        positions = out_h * out_w
+        out = builder.activation((batch, self.out_channels, out_h, out_w))
+
+        if kernel == 1 and stride == 1 and pad == 0:
+            def build(bind):
+                x3 = bind(source).reshape(batch, self.in_channels, positions)
+                y3 = bind(out).reshape(batch, self.out_channels, positions)
+
+                def step():
+                    weights = self.weight.value.reshape(self.out_channels, -1)
+                    np.matmul(weights, x3, out=y3)
+                    np.add(y3, self.bias.value[:, None], out=y3)
+                    if fuse_relu:
+                        np.maximum(y3, 0.0, out=y3)
+
+                return step
+
+            builder.emit(build, reads=(source,), writes=(out,))
+            return out
+
+        patches = builder.scratch(
+            (batch, self.in_channels * kernel * kernel, positions)
+        )
+        padded = (
+            builder.scratch(
+                (batch, self.in_channels, height + 2 * pad, width + 2 * pad)
+            )
+            if pad else None
+        )
+
+        def build(bind):
+            x = bind(source)
+            y3 = bind(out).reshape(batch, self.out_channels, positions)
+            patch_buffer = bind(patches)
+            sink = patch_buffer.reshape(
+                batch, self.in_channels, kernel, kernel, out_h, out_w
+            )
+            if pad:
+                padded_view = bind(padded)
+                interior = padded_view[:, :, pad:pad + height, pad:pad + width]
+                # The border must be re-zeroed every run: the arena may
+                # hand these bytes to a later slot within the same pass.
+                borders = (
+                    padded_view[:, :, :pad, :],
+                    padded_view[:, :, pad + height:, :],
+                    padded_view[:, :, pad:pad + height, :pad],
+                    padded_view[:, :, pad:pad + height, pad + width:],
+                )
+                window_source = padded_view
+            else:
+                interior = None
+                borders = ()
+                window_source = x
+            windows = sliding_window_view(
+                window_source, (kernel, kernel), axis=(2, 3)
+            )[:, :, ::stride, ::stride].transpose(0, 1, 4, 5, 2, 3)
+
+            def step():
+                if interior is not None:
+                    for border in borders:
+                        border[...] = 0.0
+                    np.copyto(interior, x)
+                np.copyto(sink, windows)
+                weights = self.weight.value.reshape(self.out_channels, -1)
+                np.matmul(weights, patch_buffer, out=y3)
+                np.add(y3, self.bias.value[:, None], out=y3)
+                if fuse_relu:
+                    np.maximum(y3, 0.0, out=y3)
+
+            return step
+
+        scratch = (patches,) + ((padded,) if padded is not None else ())
+        builder.emit(build, reads=(source,), writes=(out,), scratch=scratch)
+        builder.free(*scratch)
+        return out
+
     def backward_params_only(self, grad_output: np.ndarray) -> None:
         """Accumulate weight/bias gradients without the input gradient.
 
@@ -153,12 +277,11 @@ class Conv2D(Layer):
             grad_output
         )
         kernel_matrix = self.weight.value.reshape(self.out_channels, -1)
-        scratch = self._grad_patch_scratch
-        if scratch is None or scratch.shape != patches.shape or (
-            scratch.dtype != patches.dtype
-        ):
+        key = (patches.shape, patches.dtype.str)
+        scratch = self._grad_patch_scratch.get(key)
+        if scratch is None:
             scratch = np.empty_like(patches)
-            self._grad_patch_scratch = scratch
+            _cached_scratch(self._grad_patch_scratch, key, scratch)
         grad_patches = np.matmul(kernel_matrix.T, grad_matrix, out=scratch)
         return col2im_patches(
             grad_patches,

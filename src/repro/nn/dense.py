@@ -6,6 +6,7 @@ import numpy as np
 
 from repro.nn.base import Layer, Parameter
 from repro.nn.dtype import as_float, resolve_dtype
+from repro.nn.engine import PlanError
 from repro.nn.init import he_normal
 
 
@@ -48,6 +49,26 @@ class Dense(Layer):
         self._inputs = inputs
         return inputs @ self.weight.value + self.bias.value
 
+    def plan_inference(self, builder, source):
+        if source.ndim != 2 or source.shape[1] != self.in_features:
+            raise PlanError(
+                f"expected (N, {self.in_features}) input, got {source.shape}"
+            )
+        out = builder.activation((source.shape[0], self.out_features))
+
+        def build(bind):
+            x = bind(source)
+            y = bind(out)
+
+            def step():
+                np.matmul(x, self.weight.value, out=y)
+                np.add(y, self.bias.value, out=y)
+
+            return step
+
+        builder.emit(build, reads=(source,), writes=(out,))
+        return out
+
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._inputs is None:
             raise RuntimeError("backward called before forward")
@@ -70,6 +91,13 @@ class Flatten(Layer):
         inputs = as_float(inputs)
         self._input_shape = inputs.shape
         return inputs.reshape(inputs.shape[0], -1)
+
+    def plan_inference(self, builder, source):
+        if source.ndim < 2:
+            raise PlanError(f"expected batched input, got {source.shape}")
+        batch = source.shape[0]
+        # A pure reshape: alias the producer's allocation, no step at all.
+        return builder.alias(source, (batch, source.size // max(batch, 1)))
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._input_shape is None:

@@ -1,0 +1,649 @@
+"""Planned inference engine: shape-specialized execution plans over an arena.
+
+The dynamic path (:meth:`repro.nn.base.Sequential.forward`) walks the
+layer list on every call, allocating activations and im2col scratch as
+it goes.  This module compiles a :class:`~repro.nn.base.Sequential` once
+per ``(input shape, compute dtype, storage dtype, fusion signature)``
+into an :class:`InferencePlan`: every activation, im2col patch tensor
+and pooling scratch buffer is laid out ahead of time into one reusable
+arena allocation, and a forward pass executes as a flat list of kernel
+closures writing in place into arena slots — zero per-call buffer
+allocation after the plan is built.
+
+Parity contract
+---------------
+A float32/float64 plan emits the *exact* floating-point operation
+sequence of the legacy fused inference path (in-place ``out=`` ufunc
+variants of the same operations), so plan outputs are bit-identical to
+``Sequential.forward(..., training=False)``.  The dynamic path stays the
+reference; ``tests/nn/test_engine.py`` pins the parity across every
+model-zoo architecture and both reference dtypes.
+
+Layers participate by implementing ``plan_inference(builder, source)``
+(and optionally ``plan_fused_relu`` for the conv→ReLU epilogue) against
+the :class:`PlanBuilder` API; anything without a hook raises
+:class:`PlanError` and the caller falls back to the dynamic path.
+
+Execution knobs (resolved per model, see :func:`predict_proba`):
+
+``inference_engine``
+    ``"plan"`` (default, also ``REPRO_NN_ENGINE``) or ``"dynamic"``.
+``storage_dtype``
+    ``None`` keeps activations in the compute dtype; ``"float16"``
+    stores activation slots half-precision and stages each kernel's
+    operands through float32 compute buffers (accuracy-level, not
+    bit-level, agreement — the reference dtypes are never staged).
+``blas_threads``
+    Thread count pinned around plan execution via
+    :func:`blas_thread_limit` (also ``REPRO_BLAS_THREADS``).
+
+Weights and biases are read from their layers at kernel run time, so
+in-place optimizer updates *and* wholesale ``Parameter.value`` /
+BatchNorm running-statistic reassignment between calls are both picked
+up without recompiling.  Plans are cached on the model (bounded LRU) and
+re-resolved on any shape, dtype, storage or fusion-flag change;
+:meth:`Sequential.add` invalidates the cache.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from contextlib import contextmanager
+
+import numpy as np
+
+from repro.nn.dtype import resolve_storage_dtype
+
+__all__ = [
+    "InferencePlan",
+    "PlanBuilder",
+    "PlanError",
+    "Slot",
+    "blas_thread_limit",
+    "clear_plan_cache",
+    "compile_plan",
+    "get_plan",
+    "predict_proba",
+]
+
+#: Plans kept per model before least-recently-used eviction.
+PLAN_CACHE_SIZE = 8
+
+#: Arena slot alignment in bytes (cache-line sized).
+_ALIGN = 64
+
+#: Engine selector environment variable ("plan" or "dynamic").
+ENGINE_ENV_VAR = "REPRO_NN_ENGINE"
+
+#: BLAS thread-count environment variable (positive integer).
+BLAS_THREADS_ENV_VAR = "REPRO_BLAS_THREADS"
+
+
+class PlanError(Exception):
+    """A model (or one of its layers) cannot be compiled into a plan.
+
+    Raising this from a ``plan_inference`` hook is not an error
+    condition for the caller: :func:`predict_proba` falls back to the
+    dynamic layer-by-layer path and caches the verdict.
+    """
+
+
+# ----------------------------------------------------------------------
+# Virtual arena: compile-time layout with refcounted slot lifetimes
+# ----------------------------------------------------------------------
+
+
+class _Allocation:
+    """One byte range of the arena, possibly shared by alias slots."""
+
+    __slots__ = ("index", "offset", "nbytes", "reserved", "dtype", "refs",
+                 "live_start", "live_end")
+
+    def __init__(self, index, offset, nbytes, reserved, dtype, live_start):
+        self.index = index
+        self.offset = offset
+        self.nbytes = nbytes
+        self.reserved = reserved
+        self.dtype = dtype
+        self.refs = 1
+        self.live_start = live_start
+        self.live_end = None  # step count at free time; None while pinned
+
+
+class Slot:
+    """A shaped view handle over an arena allocation.
+
+    Layer hooks receive and return slots; ``shape`` is what they inspect
+    to validate geometry, exactly as ``forward`` inspects its input.
+    """
+
+    __slots__ = ("shape", "dtype", "alloc", "staged")
+
+    def __init__(self, shape, dtype, alloc, staged):
+        self.shape = tuple(int(dim) for dim in shape)
+        self.dtype = np.dtype(dtype)
+        self.alloc = alloc
+        self.staged = staged
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        size = 1
+        for dim in self.shape:
+            size *= dim
+        return size
+
+    def __repr__(self):  # pragma: no cover - debugging aid
+        return f"Slot(shape={self.shape}, dtype={self.dtype}, " \
+               f"alloc={self.alloc.index})"
+
+
+class _ArenaLayout:
+    """Best-fit offset allocator with an exact-coalescing free list.
+
+    Runs entirely at compile time: ``alloc``/``free`` simulate the slot
+    lifetimes the emitted steps imply, and ``watermark`` is the single
+    buffer size the plan materializes afterwards.
+    """
+
+    def __init__(self):
+        self.watermark = 0
+        self._free = []  # sorted (offset, size) blocks
+
+    def alloc(self, size: int) -> int:
+        best = None
+        for index, (offset, block) in enumerate(self._free):
+            if block >= size and (best is None or block < self._free[best][1]):
+                best = index
+        if best is not None:
+            offset, block = self._free.pop(best)
+            if block > size:
+                self._free.append((offset + size, block - size))
+                self._free.sort()
+            return offset
+        offset = self.watermark
+        self.watermark += size
+        return offset
+
+    def free(self, offset: int, size: int) -> None:
+        self._free.append((offset, size))
+        self._free.sort()
+        merged = []
+        for block_offset, block_size in self._free:
+            if merged and merged[-1][0] + merged[-1][1] == block_offset:
+                merged[-1] = (merged[-1][0], merged[-1][1] + block_size)
+            else:
+                merged.append((block_offset, block_size))
+        self._free = merged
+
+
+def _aligned(nbytes: int) -> int:
+    return (max(nbytes, 1) + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class PlanBuilder:
+    """Compile-time context handed to the layer ``plan_inference`` hooks.
+
+    Hooks allocate ``activation`` slots for their outputs, ``scratch``
+    slots for internal buffers (patch tensors, padded inputs, masks —
+    never staged to the storage dtype), ``alias`` existing slots for
+    zero-copy reshapes, ``emit`` kernel steps and ``free`` slots whose
+    last reader has been emitted so the arena can reuse their bytes.
+    """
+
+    def __init__(self, compute_dtype, storage_dtype=None):
+        self.compute_dtype = np.dtype(compute_dtype)
+        self.storage_dtype = (
+            np.dtype(storage_dtype) if storage_dtype is not None else None
+        )
+        self.layout = _ArenaLayout()
+        self.allocations = []
+        self.steps = []  # (build, reads, writes, scratch) tuples
+
+    def _alloc(self, shape, dtype, staged):
+        dtype = np.dtype(dtype)
+        slot = Slot(shape, dtype, None, staged)
+        nbytes = slot.size * dtype.itemsize
+        reserved = _aligned(nbytes)
+        allocation = _Allocation(
+            index=len(self.allocations),
+            offset=self.layout.alloc(reserved),
+            nbytes=nbytes,
+            reserved=reserved,
+            dtype=dtype,
+            live_start=len(self.steps),
+        )
+        self.allocations.append(allocation)
+        slot.alloc = allocation
+        return slot
+
+    def activation(self, shape) -> Slot:
+        """An activation slot (stored in the storage dtype when set)."""
+        if self.storage_dtype is not None:
+            return self._alloc(shape, self.storage_dtype, staged=True)
+        return self._alloc(shape, self.compute_dtype, staged=False)
+
+    def scratch(self, shape, dtype=None) -> Slot:
+        """A compute-dtype (or explicit-dtype) scratch slot, never staged."""
+        return self._alloc(
+            shape, dtype if dtype is not None else self.compute_dtype,
+            staged=False,
+        )
+
+    def alias(self, slot: Slot, shape) -> Slot:
+        """A reshaped view of ``slot`` sharing its allocation."""
+        view = Slot(shape, slot.dtype, slot.alloc, slot.staged)
+        if view.size != slot.size:
+            raise PlanError(
+                f"alias shape {tuple(shape)} does not match slot {slot.shape}"
+            )
+        slot.alloc.refs += 1
+        return view
+
+    def free(self, *slots: Slot) -> None:
+        """Release slots whose last reading step has been emitted."""
+        for slot in slots:
+            allocation = slot.alloc
+            if allocation.refs <= 0:
+                raise PlanError("slot freed twice during compilation")
+            allocation.refs -= 1
+            if allocation.refs == 0:
+                allocation.live_end = len(self.steps)
+                self.layout.free(allocation.offset, allocation.reserved)
+
+    def emit(self, build, reads=(), writes=(), scratch=()) -> None:
+        """Record one kernel step.
+
+        ``build(bind)`` is called once at plan materialization with a
+        ``bind(slot) -> ndarray`` resolver and returns the zero-argument
+        kernel closure.  ``reads``/``writes`` are the activation-facing
+        operands (staged through compute-dtype buffers in float16
+        storage mode); ``scratch`` slots always bind to their arena
+        views directly.
+        """
+        self.steps.append((build, tuple(reads), tuple(writes), tuple(scratch)))
+
+
+# ----------------------------------------------------------------------
+# Materialized plan
+# ----------------------------------------------------------------------
+
+
+class _StepInfo:
+    """Introspection record for one executed step (used by tests)."""
+
+    __slots__ = ("reads", "writes", "scratch")
+
+    def __init__(self, reads, writes, scratch):
+        self.reads = reads
+        self.writes = writes
+        self.scratch = scratch
+
+
+class InferencePlan:
+    """A compiled forward pass: one arena buffer plus flat kernel steps.
+
+    Built by :func:`compile_plan`; execute with :meth:`run`.  The
+    returned logits are a view into the arena — copy them (or consume
+    them immediately, as :func:`predict_proba` does) before the next
+    ``run``.
+    """
+
+    def __init__(self, builder: PlanBuilder, input_slot: Slot,
+                 output_slot: Slot, input_shape):
+        self.compute_dtype = builder.compute_dtype
+        self.storage_dtype = builder.storage_dtype
+        self.input_shape = tuple(input_shape)
+        self.arena_nbytes = builder.layout.watermark
+        self._buffer = np.empty(max(self.arena_nbytes, 1), dtype=np.uint8)
+        self._flat_views = {}
+        for allocation in builder.allocations:
+            raw = self._buffer[
+                allocation.offset:allocation.offset + allocation.nbytes
+            ]
+            self._flat_views[allocation.index] = raw.view(allocation.dtype)
+        self._allocations = builder.allocations
+        self.step_info = [
+            _StepInfo(reads, writes, scratch)
+            for _, reads, writes, scratch in builder.steps
+        ]
+        self._staging = self._build_staging(builder.steps)
+        self._steps = [
+            self._bind_step(step, self._staging) for step in builder.steps
+        ]
+        self._input_view = self.slot_view(input_slot)
+        self._output_view = self.slot_view(output_slot)
+        self.output_shape = output_slot.shape
+
+    def slot_view(self, slot: Slot) -> np.ndarray:
+        """The arena array backing ``slot`` (storage dtype for staged)."""
+        return self._flat_views[slot.alloc.index][:slot.size].reshape(
+            slot.shape
+        )
+
+    def _build_staging(self, steps):
+        """Compute-dtype staging buffers for float16 activation storage.
+
+        Position ``i`` holds the largest element count any step assigns
+        to its ``i``-th staged operand, so every step reuses the same
+        few flat buffers.
+        """
+        if self.storage_dtype is None:
+            return []
+        sizes = []
+        for _, reads, writes, _ in steps:
+            staged = [
+                slot for slot in dict.fromkeys(reads + writes) if slot.staged
+            ]
+            for position, slot in enumerate(staged):
+                if position >= len(sizes):
+                    sizes.append(slot.size)
+                else:
+                    sizes[position] = max(sizes[position], slot.size)
+        return [np.empty(size, dtype=self.compute_dtype) for size in sizes]
+
+    def _bind_step(self, step, staging):
+        build, reads, writes, scratch = step
+        bound = {}
+        for slot in scratch:
+            bound[slot] = self.slot_view(slot)
+        pre, post = [], []
+        staged = [
+            slot for slot in dict.fromkeys(reads + writes) if slot.staged
+        ]
+        for position, slot in enumerate(staged):
+            stage = staging[position][:slot.size].reshape(slot.shape)
+            storage = self.slot_view(slot)
+            bound[slot] = stage
+            if slot in reads:
+                pre.append((stage, storage))
+            if slot in writes:
+                post.append((storage, stage))
+        for slot in dict.fromkeys(reads + writes):
+            if slot not in bound:
+                bound[slot] = self.slot_view(slot)
+        kernel = build(bound.__getitem__)
+        if not pre and not post:
+            return kernel
+
+        def staged_kernel():
+            for destination, source in pre:
+                np.copyto(destination, source)
+            kernel()
+            for destination, source in post:
+                np.copyto(destination, source)
+
+        return staged_kernel
+
+    def run(self, inputs: np.ndarray) -> np.ndarray:
+        """Execute the plan; returns the logits view (valid until next run)."""
+        inputs = np.asarray(inputs)
+        if inputs.shape != self.input_shape:
+            raise ValueError(
+                f"plan compiled for input shape {self.input_shape}, "
+                f"got {inputs.shape}"
+            )
+        np.copyto(self._input_view, inputs)
+        for step in self._steps:
+            step()
+        return self._output_view
+
+    def debug_allocations(self):
+        """(offset, reserved, live_start, live_end) per allocation.
+
+        ``live_end`` is ``None`` for pinned allocations (input, output,
+        anything never freed).  Tests assert that allocations whose byte
+        ranges overlap have disjoint live step intervals.
+        """
+        return [
+            (a.offset, a.reserved, a.live_start, a.live_end)
+            for a in self._allocations
+        ]
+
+
+# ----------------------------------------------------------------------
+# Compilation and the per-model plan cache
+# ----------------------------------------------------------------------
+
+
+def _fusion_signature(layer):
+    """Nested tuple of every ``fuse_inference`` flag reachable from ``layer``.
+
+    Part of the plan-cache key: a plan bakes the fusion decisions in, so
+    toggling any (possibly nested) Sequential's flag must miss the cache.
+    """
+    children = getattr(layer, "plan_children", None)
+    flag = getattr(layer, "fuse_inference", None)
+    if children is None:
+        return flag
+    return (flag, tuple(_fusion_signature(child) for child in children()))
+
+
+def compile_plan(model, input_shape, storage_dtype=None) -> InferencePlan:
+    """Compile ``model`` for ``input_shape`` into an :class:`InferencePlan`.
+
+    Raises :class:`PlanError` when any layer lacks a plan hook (callers
+    fall back to the dynamic path) and the same :class:`ValueError` the
+    dynamic path would raise for invalid geometry.
+    """
+    builder = PlanBuilder(model.dtype, storage_dtype)
+    input_slot = builder.scratch(input_shape)
+    output_slot = model.plan_inference(builder, input_slot)
+    return InferencePlan(builder, input_slot, output_slot, input_shape)
+
+
+#: Cache sentinel for models (or fusion configurations) that cannot be
+#: planned: remembered so the compile is not retried on every predict.
+_UNPLANNABLE = object()
+
+
+def get_plan(model, input_shape, storage_dtype=None):
+    """The cached plan for ``(model, input_shape, storage)``, or ``None``.
+
+    ``None`` means the model cannot be planned (a layer without a hook);
+    the verdict is cached alongside real plans in the model's bounded
+    LRU cache, which :meth:`Sequential.add` clears.
+    """
+    key = (
+        tuple(input_shape),
+        model.dtype.str,
+        storage_dtype.str if storage_dtype is not None else "",
+        _fusion_signature(model),
+    )
+    cache = model.__dict__.setdefault("_plan_cache", OrderedDict())
+    if key in cache:
+        cache.move_to_end(key)
+        plan = cache[key]
+        return None if plan is _UNPLANNABLE else plan
+    try:
+        plan = compile_plan(model, input_shape, storage_dtype)
+    except PlanError:
+        cache[key] = _UNPLANNABLE
+        return None
+    cache[key] = plan
+    while len(cache) > PLAN_CACHE_SIZE:
+        cache.popitem(last=False)
+    return plan
+
+
+def clear_plan_cache(model) -> None:
+    """Drop every cached plan of ``model``."""
+    model.__dict__.pop("_plan_cache", None)
+
+
+# ----------------------------------------------------------------------
+# BLAS thread control
+# ----------------------------------------------------------------------
+
+_BLAS_CONTROL_UNRESOLVED = object()
+_blas_control = _BLAS_CONTROL_UNRESOLVED
+
+_OPENBLAS_SYMBOL_PAIRS = (
+    ("scipy_openblas_set_num_threads64_", "scipy_openblas_get_num_threads64_"),
+    ("scipy_openblas_set_num_threads", "scipy_openblas_get_num_threads"),
+    ("openblas_set_num_threads64_", "openblas_get_num_threads64_"),
+    ("openblas_set_num_threads", "openblas_get_num_threads"),
+)
+
+
+def _load_openblas_control():
+    """(set_threads, get_threads) from the BLAS bundled with numpy/scipy.
+
+    threadpoolctl is preferred when importable; otherwise the OpenBLAS
+    shared objects shipped inside ``numpy.libs``/``scipy.libs`` are
+    probed over ctypes.  Returns ``None`` when no control surface exists
+    (thread limiting then degrades to a no-op).
+    """
+    try:
+        import threadpoolctl
+
+        return ("threadpoolctl", threadpoolctl)
+    except ImportError:
+        pass
+    import ctypes
+    import glob
+
+    candidates = []
+    for package in ("numpy", "scipy"):
+        try:
+            module = __import__(package)
+        except ImportError:
+            continue
+        libs_dir = os.path.join(
+            os.path.dirname(os.path.dirname(module.__file__)),
+            f"{package}.libs",
+        )
+        candidates.extend(sorted(glob.glob(os.path.join(libs_dir, "*.so*"))))
+    for path in candidates:
+        try:
+            library = ctypes.CDLL(path)
+        except OSError:
+            continue
+        for set_name, get_name in _OPENBLAS_SYMBOL_PAIRS:
+            try:
+                set_fn = getattr(library, set_name)
+                get_fn = getattr(library, get_name)
+            except AttributeError:
+                continue
+            set_fn.argtypes = [ctypes.c_int]
+            set_fn.restype = None
+            get_fn.argtypes = []
+            get_fn.restype = ctypes.c_int
+            return ("ctypes", (set_fn, get_fn))
+    return None
+
+
+def _resolve_blas_control():
+    global _blas_control
+    if _blas_control is _BLAS_CONTROL_UNRESOLVED:
+        _blas_control = _load_openblas_control()
+    return _blas_control
+
+
+@contextmanager
+def blas_thread_limit(threads):
+    """Pin the BLAS thread count inside the context.
+
+    ``None`` is a no-op.  Uses threadpoolctl when available, otherwise
+    the OpenBLAS ``*_set_num_threads`` entry points over ctypes; when
+    neither exists the context is a no-op rather than an error.
+    """
+    if threads is None:
+        yield
+        return
+    threads = int(threads)
+    if threads < 1:
+        raise ValueError(f"blas_threads must be positive, got {threads}")
+    control = _resolve_blas_control()
+    if control is None:
+        yield
+        return
+    kind, handle = control
+    if kind == "threadpoolctl":
+        with handle.threadpool_limits(limits=threads):
+            yield
+        return
+    set_threads, get_threads = handle
+    previous = get_threads()
+    set_threads(threads)
+    try:
+        yield
+    finally:
+        set_threads(previous)
+
+
+# ----------------------------------------------------------------------
+# Model-facing entry point
+# ----------------------------------------------------------------------
+
+
+def _resolve_engine(model) -> str:
+    engine = getattr(model, "inference_engine", None)
+    if engine is None:
+        engine = os.environ.get(ENGINE_ENV_VAR) or "plan"
+    if engine not in ("plan", "dynamic"):
+        raise ValueError(
+            f"inference_engine must be 'plan' or 'dynamic', got {engine!r}"
+        )
+    return engine
+
+
+def _resolve_threads(model):
+    threads = getattr(model, "blas_threads", None)
+    if threads is None:
+        raw = os.environ.get(BLAS_THREADS_ENV_VAR)
+        if raw:
+            threads = int(raw)
+    if threads is not None and int(threads) < 1:
+        raise ValueError(f"blas_threads must be positive, got {threads}")
+    return threads
+
+
+def predict_proba(model, inputs, batch_size: int = 64) -> np.ndarray:
+    """Planned class probabilities; the engine behind ``Sequential.predict``.
+
+    Routes through the plan cache (one plan per tile shape: the full
+    ``batch_size`` tile plus the remainder tile), pins the BLAS thread
+    count around the loop, and falls back to the legacy dynamic path
+    when the engine knob says so or the model cannot be planned.
+    Float32/float64 results are bit-identical to the dynamic path.
+    """
+    from repro.nn.losses import softmax
+
+    inputs = np.asarray(inputs, dtype=model.dtype)
+    storage = resolve_storage_dtype(
+        getattr(model, "storage_dtype", None), model.dtype
+    )
+    if (
+        _resolve_engine(model) != "plan"
+        or inputs.ndim == 0
+        or inputs.shape[0] == 0
+    ):
+        return model.predict_proba_dynamic(inputs, batch_size=batch_size)
+    threads = _resolve_threads(model)
+    total = inputs.shape[0]
+    outputs = None
+    with blas_thread_limit(threads):
+        for start in range(0, total, batch_size):
+            chunk = inputs[start:start + batch_size]
+            plan = get_plan(model, chunk.shape, storage)
+            if plan is None:
+                return model.predict_proba_dynamic(
+                    inputs, batch_size=batch_size
+                )
+            logits = plan.run(chunk)
+            if storage is not None:
+                # Half-precision storage: softmax in the compute dtype.
+                logits = logits.astype(model.dtype)
+            probabilities = softmax(logits)
+            if outputs is None:
+                outputs = np.empty(
+                    (total, probabilities.shape[-1]),
+                    dtype=probabilities.dtype,
+                )
+            outputs[start:start + chunk.shape[0]] = probabilities
+    return outputs

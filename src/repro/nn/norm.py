@@ -6,6 +6,7 @@ import numpy as np
 
 from repro.nn.base import Layer, Parameter
 from repro.nn.dtype import resolve_dtype
+from repro.nn.engine import PlanError
 
 
 class BatchNorm2D(Layer):
@@ -69,6 +70,47 @@ class BatchNorm2D(Layer):
             self.gamma.value[None, :, None, None] * normalized
             + self.beta.value[None, :, None, None]
         )
+
+    def plan_inference(self, builder, source):
+        """Emit the inference normalisation with runtime statistics.
+
+        The running mean/var arrays are *reassigned* (not updated in
+        place) every training step, so the kernel reads ``self.*`` at
+        run time rather than capturing the arrays at compile time —
+        plans stay valid across interleaved training and evaluation.
+        The op sequence matches :meth:`forward` exactly (add-eps, sqrt,
+        reciprocal, subtract, three broadcast multiplies/adds) for
+        bit-parity with the dynamic path.
+        """
+        if source.ndim != 4 or source.shape[1] != self.num_channels:
+            raise PlanError(
+                f"expected (N, {self.num_channels}, H, W) input, "
+                f"got {source.shape}"
+            )
+        out = builder.activation(source.shape)
+        svec = builder.scratch((self.num_channels,))
+
+        def build(bind):
+            x = bind(source)
+            y = bind(out)
+            inv_std = bind(svec)
+
+            def step():
+                np.add(self.running_var, self.epsilon, out=inv_std)
+                np.sqrt(inv_std, out=inv_std)
+                np.divide(1.0, inv_std, out=inv_std)
+                np.subtract(
+                    x, self.running_mean[None, :, None, None], out=y
+                )
+                np.multiply(y, inv_std[None, :, None, None], out=y)
+                np.multiply(y, self.gamma.value[None, :, None, None], out=y)
+                np.add(y, self.beta.value[None, :, None, None], out=y)
+
+            return step
+
+        builder.emit(build, reads=(source,), writes=(out,), scratch=(svec,))
+        builder.free(svec)
+        return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.nn.base import Layer
 from repro.nn.dtype import as_float
+from repro.nn.engine import PlanError
 from repro.nn.im2col import conv_output_size, sliding_windows
 
 
@@ -31,7 +32,7 @@ class _Pool2D(Layer):
         if self.stride <= 0:
             raise ValueError("stride must be positive")
         self._cache = None
-        self._patch_scratch = None
+        self._patch_scratch = {}
 
     def _output_dims(self, inputs: np.ndarray) -> tuple:
         if inputs.ndim != 4:
@@ -49,18 +50,29 @@ class _Pool2D(Layer):
 
     def _patches(self, inputs: np.ndarray, dims: tuple) -> np.ndarray:
         """Contiguous window elements, flattened to (..., pool*pool)."""
+        from repro.nn.conv import _cached_scratch
+
         batch, channels, out_h, out_w = dims
         window = self.pool_size * self.pool_size
         shape = (batch, channels, out_h, out_w, window)
-        scratch = self._patch_scratch
-        if scratch is None or scratch.shape != shape or (
-            scratch.dtype != inputs.dtype
-        ):
+        # Per-shape slots: the full-tile / remainder-tile alternation of
+        # predict and fit loops must hit stable buffers, not reallocate.
+        key = (shape, inputs.dtype.str)
+        scratch = self._patch_scratch.get(key)
+        if scratch is None:
             scratch = np.empty(shape, dtype=inputs.dtype)
-            self._patch_scratch = scratch
+            _cached_scratch(self._patch_scratch, key, scratch)
         sink = scratch.reshape(shape[:4] + (self.pool_size, self.pool_size))
         np.copyto(sink, self._windows(inputs))
         return scratch
+
+    def _plan_dims(self, source) -> tuple:
+        if source.ndim != 4:
+            raise PlanError(f"expected NCHW input, got shape {source.shape}")
+        batch, channels, height, width = source.shape
+        out_h = conv_output_size(height, self.pool_size, self.stride, 0)
+        out_w = conv_output_size(width, self.pool_size, self.stride, 0)
+        return batch, channels, out_h, out_w
 
     def _scatter(self, values: np.ndarray, input_shape: tuple) -> np.ndarray:
         """Scatter-add per-window-element values back onto the input.
@@ -166,6 +178,61 @@ class MaxPool2D(_Pool2D):
         self._cache = (inputs.shape, None, dims, inputs)
         return patches.max(axis=4)
 
+    def plan_inference(self, builder, source):
+        """Emit the pooling kernel into an inference plan.
+
+        The 2x2/stride-2 tournament and the generic gather-then-reduce
+        both run the dynamic path's exact operations with ``out=``
+        targets, so plan outputs are bit-identical.
+        """
+        dims = self._plan_dims(source)
+        batch, channels, out_h, out_w = dims
+        out = builder.activation(dims)
+        if self._is_2x2():
+            top_slot = builder.scratch(dims)
+            bottom_slot = builder.scratch(dims)
+
+            def build(bind):
+                a, b, c, d = self._quadrants(bind(source), out_h, out_w)
+                top = bind(top_slot)
+                bottom = bind(bottom_slot)
+                y = bind(out)
+
+                def step():
+                    np.maximum(a, b, out=top)
+                    np.maximum(c, d, out=bottom)
+                    np.maximum(top, bottom, out=y)
+
+                return step
+
+            builder.emit(
+                build, reads=(source,), writes=(out,),
+                scratch=(top_slot, bottom_slot),
+            )
+            builder.free(top_slot, bottom_slot)
+            return out
+
+        window = self.pool_size * self.pool_size
+        patches = builder.scratch(dims + (window,))
+
+        def build(bind):
+            windows = self._windows(bind(source))
+            y = bind(out)
+            patch_buffer = bind(patches)
+            sink = patch_buffer.reshape(
+                dims + (self.pool_size, self.pool_size)
+            )
+
+            def step():
+                np.copyto(sink, windows)
+                patch_buffer.max(axis=4, out=y)
+
+            return step
+
+        builder.emit(build, reads=(source,), writes=(out,), scratch=(patches,))
+        builder.free(patches)
+        return out
+
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before forward")
@@ -208,6 +275,30 @@ class AvgPool2D(_Pool2D):
         self._cache = (inputs.shape, dims)
         return self._patches(inputs, dims).mean(axis=4)
 
+    def plan_inference(self, builder, source):
+        dims = self._plan_dims(source)
+        out = builder.activation(dims)
+        window = self.pool_size * self.pool_size
+        patches = builder.scratch(dims + (window,))
+
+        def build(bind):
+            windows = self._windows(bind(source))
+            y = bind(out)
+            patch_buffer = bind(patches)
+            sink = patch_buffer.reshape(
+                dims + (self.pool_size, self.pool_size)
+            )
+
+            def step():
+                np.copyto(sink, windows)
+                patch_buffer.mean(axis=4, out=y)
+
+            return step
+
+        builder.emit(build, reads=(source,), writes=(out,), scratch=(patches,))
+        builder.free(patches)
+        return out
+
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before forward")
@@ -233,6 +324,23 @@ class GlobalAvgPool2D(Layer):
             raise ValueError(f"expected NCHW input, got shape {inputs.shape}")
         self._input_shape = inputs.shape
         return inputs.mean(axis=(2, 3))
+
+    def plan_inference(self, builder, source):
+        if source.ndim != 4:
+            raise PlanError(f"expected NCHW input, got shape {source.shape}")
+        out = builder.activation(source.shape[:2])
+
+        def build(bind):
+            x = bind(source)
+            y = bind(out)
+
+            def step():
+                np.mean(x, axis=(2, 3), out=y)
+
+            return step
+
+        builder.emit(build, reads=(source,), writes=(out,))
+        return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         if self._input_shape is None:

@@ -33,6 +33,11 @@ class Dropout(Layer):
         self._mask = mask.astype(inputs.dtype, copy=False)
         return inputs * self._mask
 
+    def plan_inference(self, builder, source):
+        # Inference dropout is the identity — pass the slot straight
+        # through, exactly as forward() returns its input uncopied.
+        return source
+
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         grad_output = as_float(grad_output)
         if self._mask is None:
