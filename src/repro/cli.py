@@ -26,6 +26,13 @@ Three subcommands over the experiment registry
     Re-run against a warm artifact store and *fail* unless every cell
     was served from cache — the smoke check that a previous ``run``
     persisted everything it computed.
+``lint``
+    Check the repo against its own correctness invariants with the
+    AST-based rules of :mod:`repro.analysis.lint_rules` (parity
+    references, task-key hygiene, worker seeding, allocation-free plan
+    kernels, shm lifetimes, envelope/wire safety — see
+    ``INVARIANTS.md``).  Exits 5 on findings; ``--changed`` scopes the
+    check to the git diff, ``--json`` emits a machine-readable report.
 
 Examples::
 
@@ -165,6 +172,16 @@ def build_parser() -> argparse.ArgumentParser:
             "--progress", action="store_true",
             help="report cell completion (done/total) on stderr",
         )
+
+    # `lint` owns its full argument surface in repro.analysis.lint
+    # (main() delegates before general parsing); this stub makes it
+    # visible in `python -m repro --help`.
+    subparsers.add_parser(
+        "lint",
+        help="check the repo against its own correctness invariants "
+        "(AST rules; see `repro lint --help` and INVARIANTS.md)",
+        add_help=False,
+    )
 
     bench = subparsers.add_parser(
         "bench",
@@ -369,7 +386,14 @@ def _import_plugin_modules() -> None:
 
 
 def main(argv: Optional["list[str]"] = None) -> int:
-    arguments = build_parser().parse_args(argv)
+    raw = sys.argv[1:] if argv is None else list(argv)
+    if raw[:1] == ["lint"]:
+        # Delegate the whole lint surface (its own flags, exit 5 on
+        # findings) without entangling it in the run/replay parser.
+        from repro.analysis.lint import main as lint_main
+
+        return lint_main(raw[1:])
+    arguments = build_parser().parse_args(raw)
     _import_plugin_modules()
     if arguments.command == "list":
         names = experiment_names()

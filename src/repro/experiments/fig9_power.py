@@ -13,7 +13,7 @@ from a Fig. 7 run); the assemble step runs the energy model.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
+from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.core.baselines import (

@@ -13,6 +13,7 @@ from repro.nn.base import Layer, Parameter, Sequential
 from repro.nn.conv import Conv2D
 from repro.nn.dtype import as_float, resolve_dtype
 from repro.nn.engine import PlanError
+from repro.nn.init import fallback_rng
 from repro.nn.norm import BatchNorm2D
 
 
@@ -34,7 +35,7 @@ class ResidualBlock(Layer):
         name: str = "residual",
         dtype=None,
     ) -> None:
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = fallback_rng(rng)
         dtype = resolve_dtype(dtype)
         self.body = Sequential(
             [
@@ -154,7 +155,7 @@ class InceptionBlock(Layer):
         name: str = "inception",
         dtype=None,
     ) -> None:
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = fallback_rng(rng)
         dtype = resolve_dtype(dtype)
         self.branch1 = Sequential(
             [

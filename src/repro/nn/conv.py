@@ -9,7 +9,7 @@ from repro.nn.base import Layer, Parameter
 from repro.nn.dtype import resolve_dtype
 from repro.nn.engine import PlanError
 from repro.nn.im2col import col2im_patches, conv_output_size, im2col_patches
-from repro.nn.init import he_normal
+from repro.nn.init import fallback_rng, he_normal
 
 #: Per-shape scratch buffers kept per layer.  Two shapes flow through a
 #: typical predict/fit loop (the full tile and the remainder tile); a
@@ -68,7 +68,7 @@ class Conv2D(Layer):
             raise ValueError("channel counts and kernel size must be positive")
         if stride <= 0 or padding < 0:
             raise ValueError("stride must be positive and padding non-negative")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = fallback_rng(rng)
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.kernel_size = kernel_size

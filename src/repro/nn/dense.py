@@ -7,7 +7,7 @@ import numpy as np
 from repro.nn.base import Layer, Parameter
 from repro.nn.dtype import as_float, resolve_dtype
 from repro.nn.engine import PlanError
-from repro.nn.init import he_normal
+from repro.nn.init import fallback_rng, he_normal
 
 
 class Dense(Layer):
@@ -23,7 +23,7 @@ class Dense(Layer):
     ) -> None:
         if in_features <= 0 or out_features <= 0:
             raise ValueError("feature counts must be positive")
-        rng = rng if rng is not None else np.random.default_rng()
+        rng = fallback_rng(rng)
         self.in_features = in_features
         self.out_features = out_features
         self.dtype = resolve_dtype(dtype)

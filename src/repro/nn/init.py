@@ -2,9 +2,36 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 import numpy as np
 
 from repro.nn.dtype import resolve_dtype
+
+#: Process-lifetime entropy source of :func:`fallback_rng`.  An
+#: unseeded SeedSequence draws OS entropy once, at import; every
+#: convenience generator is a distinct child spawned from it.
+_CONVENIENCE_SEEDS = np.random.SeedSequence()
+
+
+def fallback_rng(
+    rng: Optional[np.random.Generator] = None,
+) -> np.random.Generator:
+    """``rng`` itself, or a fresh generator for rng-less construction.
+
+    Layer constructors accept ``rng=None`` as an ad-hoc convenience —
+    every experiment path threads a generator seeded via
+    ``spawn_seeds``/``SeedSequence``.  The fallback must still obey the
+    worker-seeding invariant (rule R3 in ``INVARIANTS.md``): rather
+    than scattering unseeded ``default_rng()`` calls across the layer
+    modules, every fallback generator is spawned from this module's one
+    :class:`~numpy.random.SeedSequence` — distinct per call (two
+    rng-less layers never share an init stream) and auditable in a
+    single place.
+    """
+    if rng is not None:
+        return rng
+    return np.random.default_rng(_CONVENIENCE_SEEDS.spawn(1)[0])
 
 
 def he_normal(

@@ -6,6 +6,7 @@ import numpy as np
 
 from repro.nn.base import Layer
 from repro.nn.dtype import as_float
+from repro.nn.init import fallback_rng
 
 
 class Dropout(Layer):
@@ -17,7 +18,7 @@ class Dropout(Layer):
         if not 0.0 <= rate < 1.0:
             raise ValueError("dropout rate must be in [0, 1)")
         self.rate = float(rate)
-        self._rng = rng if rng is not None else np.random.default_rng()
+        self._rng = fallback_rng(rng)
         self._mask = None
 
     def forward(self, inputs: np.ndarray, training: bool = False) -> np.ndarray:

@@ -1,0 +1,8 @@
+"""Keep pytest out of the lint-rule fixtures.
+
+Files under ``fixtures/`` are deliberately-wrong code (including a fake
+``tests/test_parity.py`` inside the R1 project tree); they are linted by
+the tests here, never collected as tests themselves.
+"""
+
+collect_ignore = ["fixtures"]

@@ -1,0 +1,15 @@
+"""Codec with fast and scalar paths (fixture)."""
+
+
+class _ChannelCoder:
+    def entropy_code(self, blocks):
+        return b""
+
+    def decode_to_zigzag_walk(self, data, count):
+        return []
+
+    def encode_scalar(self, channel):
+        return b""
+
+    def decode_scalar(self, encoded):
+        return []

@@ -1,0 +1,6 @@
+"""Model base (fixture)."""
+
+
+class Sequential:
+    def predict_proba_dynamic(self, inputs):
+        return inputs

@@ -1,0 +1,9 @@
+"""Inference plans (fixture)."""
+
+
+class PlanBuilder:
+    pass
+
+
+class InferencePlan:
+    pass

@@ -1,0 +1,45 @@
+"""R2 suppressed: the unclassified field carries a lint-ignore."""
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+
+    images_per_class: int = 30
+    image_size: int = 32
+    noise_std: float = 1.5
+    test_fraction: float = 0.25
+    epochs: int = 20
+    batch_size: int = 32
+    learning_rate: float = 0.002
+    model_name: str = "AlexNet"
+    compute_dtype: str = "float32"
+    dataset_seed: int = 7
+    split_seed: int = 0
+    model_seed: int = 0
+    sampling_interval: int = 2
+    workers: int = 1
+    on_error: str = "fail-fast"
+    retries: int = 2
+    task_timeout: float = None
+    backend: str = None
+    inference_engine: str = "plan"
+    storage_dtype: str = None
+    blas_threads: int = None
+
+    frobnicate_strength: float = 1.0  # repro: lint-ignore[R2] classification pending review
+
+
+    def task_key(self):
+        return replace(
+            self,
+            workers=1,
+            on_error="fail-fast",
+            retries=2,
+            task_timeout=None,
+            backend=None,
+            inference_engine="plan",
+            blas_threads=None,
+        )
+

@@ -1,0 +1,21 @@
+"""R3 bad: legacy globals and unseeded generators."""
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def unseeded():
+    return np.random.default_rng()
+
+
+def unseeded_direct():
+    return default_rng()
+
+
+def legacy_global(n):
+    np.random.seed(0)
+    return np.random.rand(n)
+
+
+def legacy_shuffle(values):
+    np.random.shuffle(values)

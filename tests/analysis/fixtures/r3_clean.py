@@ -1,0 +1,15 @@
+"""R3 clean: seeded generators and SeedSequence flows only."""
+
+import numpy as np
+
+
+def spawn(seed, count):
+    return np.random.SeedSequence(seed).spawn(count)
+
+
+def make_rng(seed):
+    return np.random.default_rng(seed)
+
+
+def seeded_child(seed_sequence):
+    return np.random.default_rng(seed_sequence.spawn(1)[0])

@@ -1,0 +1,11 @@
+"""R3 suppressed: each violation carries a reasoned lint-ignore."""
+
+import numpy as np
+
+
+def unseeded():
+    return np.random.default_rng()  # repro: lint-ignore[R3] interactive helper, never imported by workers
+
+
+def legacy(n):
+    return np.random.rand(n)  # repro: lint-ignore[R3] interactive helper, never imported by workers

@@ -1,0 +1,39 @@
+"""R4 bad: the kernel allocates on every run."""
+
+import numpy as np
+
+
+class Layer:
+    def plan_inference(self, builder, source):
+        out = builder.activation(source.shape)
+
+        def build(bind):
+            x = bind(source)
+            y = bind(out)
+
+            def step():
+                buffer = np.zeros(x.shape)
+                half = x.astype(np.float16)
+                np.add(half, buffer, out=y)
+                np.copyto(y, np.maximum(y, 0.0))
+
+            return step
+
+        builder.emit(build, reads=(source,), writes=(out,))
+        return out
+
+    def plan_fused_relu(self, builder, source):
+        out = builder.activation(source.shape)
+
+        def build(bind):
+            x = bind(source)
+            y = bind(out)
+
+            def step():
+                result = np.matmul(x, x)
+                np.copyto(y, result)
+
+            return step
+
+        builder.emit(build, reads=(source,), writes=(out,))
+        return out

@@ -1,0 +1,21 @@
+"""R4 suppressed: a sanctioned one-off allocation with a reason."""
+
+import numpy as np
+
+
+class Layer:
+    def plan_inference(self, builder, source):
+        out = builder.activation(source.shape)
+
+        def build(bind):
+            x = bind(source)
+            y = bind(out)
+
+            def step():
+                buffer = np.zeros(x.shape)  # repro: lint-ignore[R4] measured: tiny header buffer, not on the hot path
+                np.add(x, buffer, out=y)
+
+            return step
+
+        builder.emit(build, reads=(source,), writes=(out,))
+        return out

@@ -1,0 +1,13 @@
+"""R5 bad: the module creates segments but never unlinks."""
+
+from multiprocessing import shared_memory
+
+
+def create_segment(nbytes):
+    segment = shared_memory.SharedMemory(create=True, size=nbytes)
+    return segment
+
+
+def ship(images, create_stack):
+    stack = create_stack(images)
+    return stack.handle

@@ -1,0 +1,16 @@
+"""R5 clean: creation paired with a finally-guarded close and unlink."""
+
+from multiprocessing import shared_memory
+
+
+def create_segment(nbytes):
+    return shared_memory.SharedMemory(create=True, size=nbytes)
+
+
+def with_segment(nbytes):
+    segment = create_segment(nbytes)
+    try:
+        return bytes(segment.buf)
+    finally:
+        segment.close()
+        segment.unlink()

@@ -1,0 +1,7 @@
+"""R5 suppressed: creation site annotated with the owning sweeper."""
+
+from multiprocessing import shared_memory
+
+
+def create_segment(nbytes):
+    return shared_memory.SharedMemory(create=True, size=nbytes)  # repro: lint-ignore[R5] unlinked by the consumer via shm.load()

@@ -1,0 +1,29 @@
+"""R6 bad: bare exception in the envelope, computed header keys."""
+
+
+def fail(index, attempt, TaskFailure):
+    try:
+        raise ValueError("boom")
+    except ValueError as error:
+        return TaskFailure(
+            index=index,
+            kind="exception",
+            error_type=type(error).__name__,
+            message=error,
+            attempts=attempt,
+        )
+
+
+def positional(TaskFailure, index):
+    return TaskFailure(index, "exception", "ValueError", "boom", 1)
+
+
+def hello(sock, send_frame, worker_id, key):
+    header = {"type": "hello", key: worker_id}
+    send_frame(sock, header)
+
+
+def stamp(sock, send_frame, field, value):
+    header = {"type": "result"}
+    header[field] = value
+    send_frame(sock, header)

@@ -1,0 +1,21 @@
+"""R6 clean: stringified envelope fields, literal header keys."""
+
+
+def fail(index, attempt, TaskFailure):
+    try:
+        raise ValueError("boom")
+    except ValueError as error:
+        return TaskFailure(
+            index=index,
+            kind="exception",
+            error_type=type(error).__name__,
+            message=str(error),
+            attempts=attempt,
+            error=error,
+        )
+
+
+def hello(sock, send_frame, worker_id):
+    header = {"type": "hello", "worker": worker_id}
+    header["payload"] = {"version": 2}
+    send_frame(sock, header)

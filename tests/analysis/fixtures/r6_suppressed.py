@@ -1,0 +1,14 @@
+"""R6 suppressed: the bare exception field carries a reason."""
+
+
+def fail(index, attempt, TaskFailure):
+    try:
+        raise ValueError("boom")
+    except ValueError as error:
+        return TaskFailure(
+            index=index,
+            kind="exception",
+            message=error,  # repro: lint-ignore[R6] local-only envelope, never crosses a process boundary
+            error_type="ValueError",
+            attempts=attempt,
+        )

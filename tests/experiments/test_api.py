@@ -15,7 +15,6 @@ from repro.experiments import api
 from repro.experiments.api import (
     Axis,
     Experiment,
-    RunContext,
     build_experiment,
     experiment_names,
     grid_cells,

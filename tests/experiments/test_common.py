@@ -1,6 +1,5 @@
 """Tests for the shared experiment infrastructure."""
 
-import numpy as np
 import pytest
 
 from repro.core.baselines import JpegCompressor

@@ -6,7 +6,6 @@ by poisoning the JPEG codecs' batch entry points during the second run —
 and returns entry-for-entry identical results.
 """
 
-import numpy as np
 import pytest
 
 import repro.jpeg.codec as jpeg_codec

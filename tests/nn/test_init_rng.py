@@ -1,0 +1,84 @@
+"""Regression tests for the centralized rng-less construction fallback.
+
+``repro lint`` rule R3 flagged five unseeded ``default_rng()`` fallbacks
+scattered across the layer modules; they now all route through
+:func:`repro.nn.init.fallback_rng`, which spawns every convenience
+generator from one module-level SeedSequence.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+
+import numpy as np
+
+from repro.nn.blocks import ResidualBlock
+from repro.nn.conv import Conv2D
+from repro.nn.dense import Dense
+from repro.nn.init import fallback_rng
+
+SRC_NN = os.path.join(
+    os.path.dirname(__file__), "..", "..", "src", "repro", "nn"
+)
+
+
+class TestFallbackRng:
+    def test_given_generator_is_returned_unchanged(self):
+        rng = np.random.default_rng(7)
+        assert fallback_rng(rng) is rng
+
+    def test_none_yields_a_generator(self):
+        assert isinstance(fallback_rng(None), np.random.Generator)
+
+    def test_successive_fallbacks_are_distinct_streams(self):
+        first = fallback_rng().random(8)
+        second = fallback_rng().random(8)
+        assert not np.array_equal(first, second)
+
+
+class TestLayerConstructionWithoutRng:
+    def test_dense_layers_get_distinct_weights(self):
+        a = Dense(16, 16)
+        b = Dense(16, 16)
+        assert not np.array_equal(a.weight.value, b.weight.value)
+
+    def test_conv_layers_get_distinct_weights(self):
+        a = Conv2D(3, 8, kernel_size=3)
+        b = Conv2D(3, 8, kernel_size=3)
+        assert not np.array_equal(a.weight.value, b.weight.value)
+
+    def test_residual_block_builds_without_rng(self):
+        block = ResidualBlock(3, 8)
+        out = block.forward(np.zeros((2, 3, 8, 8), dtype=np.float64))
+        assert out.shape[0] == 2
+
+    def test_explicit_rng_is_still_reproducible(self):
+        a = Dense(16, 16, rng=np.random.default_rng(11))
+        b = Dense(16, 16, rng=np.random.default_rng(11))
+        np.testing.assert_array_equal(a.weight.value, b.weight.value)
+
+
+class TestNoUnseededFallbacksRemain:
+    def test_layer_modules_have_no_bare_default_rng(self):
+        """AST sweep: no ``default_rng()`` without a seed in repro.nn."""
+        offenders = []
+        for name in sorted(os.listdir(SRC_NN)):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(SRC_NN, name)
+            with open(path, "r", encoding="utf-8") as handle:
+                tree = ast.parse(handle.read(), filename=name)
+            for node in ast.walk(tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                called = (
+                    func.attr if isinstance(func, ast.Attribute)
+                    else getattr(func, "id", None)
+                )
+                if called == "default_rng" and not (
+                    node.args or node.keywords
+                ):
+                    offenders.append(f"{name}:{node.lineno}")
+        assert offenders == []

@@ -12,7 +12,6 @@ its bound.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.nn.conv import _SCRATCH_SLOTS, Conv2D
 from repro.nn.pooling import MaxPool2D

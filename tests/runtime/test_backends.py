@@ -14,7 +14,6 @@ from repro.runtime.backends import (
     BACKEND_NAMES,
     BackendEvent,
     ForkedBackend,
-    PersistentBackend,
     SerialBackend,
     SocketBackend,
     get_backend,
@@ -23,7 +22,7 @@ from repro.runtime.backends import (
     validate_backend_name,
 )
 from repro.runtime.executor import fork_available, imap_tasks, map_tasks
-from repro.runtime.supervision import TaskError, supervised_map
+from repro.runtime.supervision import supervised_map
 
 needs_fork = pytest.mark.skipif(
     not fork_available(), reason="fork start method required"

@@ -17,7 +17,6 @@ from repro.runtime.executor import fork_available, map_tasks
 from repro.runtime.shm import (
     ShmPayload,
     ShmUnavailable,
-    StackHandle,
     attach_stack,
     create_stack,
     detach_stacks,
